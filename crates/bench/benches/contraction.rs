@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the paper's per-iteration pipeline: Get-V
+//! (Algorithm 3, with and without Section-VII reductions), Get-E
+//! (Algorithm 4), and one Expansion round (Algorithm 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ce_core::{build_orders, expand, get_e, get_v, GetEOptions, GetVOptions, LevelFiles, OrderKind};
+use ce_extmem::{anti_join, DiskEnv, IoConfig};
+use ce_graph::gen::{self, Dataset, SyntheticSpec};
+use ce_graph::types::SccLabel;
+
+fn env() -> DiskEnv {
+    DiskEnv::new_temp(IoConfig::new(8 << 10, 512 << 10)).expect("env")
+}
+
+const N: u32 = 50_000;
+
+fn bench_get_v(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_v");
+    g.sample_size(10);
+    let envx = env();
+    let spec = SyntheticSpec::table1(Dataset::Large, N, 4.0, 88);
+    let graph = gen::planted_scc_graph(&envx, &spec).unwrap();
+    let orders = build_orders(&envx, graph.edges(), true).unwrap();
+    let variants: [(&str, GetVOptions); 3] = [
+        (
+            "def5.1",
+            GetVOptions {
+                order: OrderKind::Degree,
+                type1: false,
+                type2_capacity: 0,
+            },
+        ),
+        (
+            "def7.1+type1",
+            GetVOptions {
+                order: OrderKind::DegreeProduct,
+                type1: true,
+                type2_capacity: 0,
+            },
+        ),
+        (
+            "def7.1+type1+type2",
+            GetVOptions {
+                order: OrderKind::DegreeProduct,
+                type1: true,
+                type2_capacity: 4096,
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (cover, _) = get_v(&envx, &orders, &opts).unwrap();
+                std::hint::black_box(cover.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_get_e_and_expand(c: &mut Criterion) {
+    let mut g = c.benchmark_group("get_e_expand");
+    g.sample_size(10);
+    let envx = env();
+    let spec = SyntheticSpec::table1(Dataset::Large, N, 4.0, 88);
+    let graph = gen::planted_scc_graph(&envx, &spec).unwrap();
+    let orders = build_orders(&envx, graph.edges(), true).unwrap();
+    let (cover, _) = get_v(
+        &envx,
+        &orders,
+        &GetVOptions {
+            order: OrderKind::DegreeProduct,
+            type1: true,
+            type2_capacity: 4096,
+        },
+    )
+    .unwrap();
+    let ge_opts = GetEOptions {
+        filter_endpoints: true,
+        drop_self_loops: true,
+    };
+
+    g.bench_function("get_e", |b| {
+        b.iter(|| {
+            let ge = get_e(&envx, &orders, &cover, &ge_opts).unwrap();
+            std::hint::black_box(ge.edges.len())
+        });
+    });
+
+    // Expansion needs the level files plus labels of the contracted graph;
+    // label every cover node with itself (worst case: nothing merges).
+    let ge = get_e(&envx, &orders, &cover, &ge_opts).unwrap();
+    let universe: Vec<u32> = (0..N).collect();
+    let v1 = envx.file_from_slice("v1", &universe).unwrap();
+    let removed = anti_join(&envx, "rm", &v1, |&v| v, &cover, |&v| v).unwrap();
+    let level = LevelFiles {
+        removed,
+        edel_in: ge.edel_in,
+        odel: ge.odel,
+    };
+    let labels: Vec<SccLabel> = cover
+        .read_all()
+        .unwrap()
+        .into_iter()
+        .map(|v| SccLabel::new(v, v))
+        .collect();
+    let scc_next = envx.file_from_slice("scc", &labels).unwrap();
+
+    g.bench_function("expand", |b| {
+        b.iter(|| {
+            let (out, counts) = expand(&envx, &level, &scc_next).unwrap();
+            std::hint::black_box((out.len(), counts.singletons))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_get_v, bench_get_e_and_expand);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion end-to-end comparison on one fixed workload: both Ext-SCC
+//! variants and the external-DFS baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ce_core::{ExtScc, ExtSccConfig};
+use ce_dfs_scc::{dfs_scc, DfsMode, DfsSccConfig};
+use ce_extmem::{DiskEnv, IoConfig};
+use ce_graph::gen::{self, Dataset, SyntheticSpec};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    let n = 20_000u32;
+    // Budget fits half the nodes: contraction genuinely runs.
+    let budget = ce_semi_scc::mem_required(
+        ce_semi_scc::SemiSccKind::Coloring,
+        n as u64 / 2,
+        &IoConfig::new(8 << 10, 64 << 10),
+    ) as usize;
+    let env = DiskEnv::new_temp(IoConfig::new(8 << 10, budget)).expect("env");
+    let spec = SyntheticSpec::table1(Dataset::Large, n, 4.0, 88);
+    let graph = gen::planted_scc_graph(&env, &spec).unwrap();
+
+    g.bench_function("ext_scc_baseline", |b| {
+        b.iter(|| {
+            let out = ExtScc::new(&env, ExtSccConfig::baseline()).run(&graph).unwrap();
+            std::hint::black_box(out.report.n_sccs)
+        });
+    });
+    g.bench_function("ext_scc_optimized", |b| {
+        b.iter(|| {
+            let out = ExtScc::new(&env, ExtSccConfig::optimized()).run(&graph).unwrap();
+            std::hint::black_box(out.report.n_sccs)
+        });
+    });
+    g.bench_function("dfs_scc_naive", |b| {
+        b.iter(|| {
+            let cfg = DfsSccConfig {
+                mode: DfsMode::Naive,
+                ..Default::default()
+            };
+            let (_, r) = dfs_scc(&env, &graph, &cfg).unwrap();
+            std::hint::black_box(r.n_sccs)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

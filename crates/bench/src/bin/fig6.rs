@@ -1,0 +1,9 @@
+//! Reproduces Figure 6 (vary edge fraction on the WEBSPAM substitute).
+//! `--quick` shrinks the workload for smoke runs.
+
+use ce_bench::figures::fig6;
+use ce_bench::Scale;
+
+fn main() {
+    println!("{}", fig6(Scale::from_args()));
+}

@@ -1,0 +1,8 @@
+//! Reproduces Figure 7 (vary memory on the WEBSPAM substitute).
+
+use ce_bench::figures::fig7;
+use ce_bench::Scale;
+
+fn main() {
+    println!("{}", fig7(Scale::from_args()));
+}

@@ -1,0 +1,27 @@
+//! Reproduces Figure 8 (synthetic datasets, vary memory).
+//! `--dataset massive|large|small` selects one panel pair; default all.
+
+use ce_bench::figures::fig8;
+use ce_bench::Scale;
+use ce_graph::gen::Dataset;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let datasets: Vec<Dataset> = match args.iter().position(|a| a == "--dataset") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            match Dataset::ALL.iter().find(|d| d.name() == name) {
+                Some(&d) => vec![d],
+                None => {
+                    eprintln!("unknown dataset {name:?}; use massive|large|small");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => Dataset::ALL.to_vec(),
+    };
+    for d in datasets {
+        println!("{}", fig8(scale, d));
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduces Figure 9 (Large-SCC dataset, one generator axis per panel).
+//! `--axis nodes|degree|scc-size|scc-count` selects a panel pair; default all.
+
+use ce_bench::figures::{fig9, Fig9Axis};
+use ce_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let axes: Vec<Fig9Axis> = match args.iter().position(|a| a == "--axis") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            match Fig9Axis::parse(name) {
+                Some(a) => vec![a],
+                None => {
+                    eprintln!("unknown axis {name:?}; use nodes|degree|scc-size|scc-count");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => Fig9Axis::ALL.to_vec(),
+    };
+    for a in axes {
+        println!("{}", fig9(scale, a));
+    }
+}

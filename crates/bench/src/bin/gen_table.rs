@@ -1,0 +1,8 @@
+//! Prints the scaled Table I. `--quick` for the small configuration.
+
+use ce_bench::figures::table1_text;
+use ce_bench::Scale;
+
+fn main() {
+    print!("{}", table1_text(Scale::from_args()));
+}

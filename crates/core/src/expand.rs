@@ -1,0 +1,309 @@
+//! Algorithm 5 — Expansion: compute the SCCs of the removed nodes from the
+//! labels of the contracted graph.
+//!
+//! For a removed node `v` (Lemmas 6.1–6.4):
+//!
+//! * if some SCC id appears among **both** `SCC(nbr_in(v))` and
+//!   `SCC(nbr_out(v))`, that id *is* `SCC(v)` (and it is unique, Lemma 6.2);
+//! * otherwise `v` is a singleton SCC (labelled by its own id).
+//!
+//! The neighbour SCC sets are built externally (the `augment` procedure of
+//! the paper): take the in-edges `(u, v)` of removed nodes (retained from
+//! Get-E as `E_del`), sort by `u`, attach `SCC(u)` with one merge join
+//! against `SCC_{i+1}`, then sort by `(v, scc)` — and symmetrically for the
+//! out-side. A final three-way merge over the removed-node list intersects
+//! the two sorted label sets per node.
+//!
+//! Cost: `O(scan(|V_{i+1}|) + sort(|E_i|) + sort(|V_i|))` (Theorem 6.1).
+
+use std::io;
+
+use ce_extmem::{lookup_join, merge_union, sort_dedup_by_key, sort_by_key, DiskEnv, ExtFile, GroupCursor};
+use ce_graph::types::{Edge, SccLabel};
+
+/// The per-level files the driver retains from contraction for use here.
+#[derive(Debug)]
+pub struct LevelFiles {
+    /// Removed nodes `V_i − V_{i+1}`, sorted ascending.
+    pub removed: ExtFile<u32>,
+    /// In-edges `(u, v)` of removed `v` with `u ∈ V_{i+1}`, sorted `(v, u)`.
+    pub edel_in: ExtFile<Edge>,
+    /// Out-edges `(v, w)` of removed `v` with `w ∈ V_{i+1}`, sorted `(v, w)`.
+    pub odel: ExtFile<Edge>,
+}
+
+/// Counters from one expansion step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpandCounts {
+    /// Removed nodes labelled this step (`|V_i − V_{i+1}|`).
+    pub removed: u64,
+    /// How many of them formed singleton SCCs (empty intersection).
+    pub singletons: u64,
+}
+
+/// `(removed node, scc id)` pair used by the augmented streams.
+type NbrLab = (u32, u32);
+
+/// Expands one level: given `SCC_{i+1}` (sorted by node), produces `SCC_i`.
+pub fn expand(
+    env: &DiskEnv,
+    level: &LevelFiles,
+    scc_next: &ExtFile<SccLabel>,
+) -> io::Result<(ExtFile<SccLabel>, ExpandCounts)> {
+    let mut counts = ExpandCounts {
+        removed: level.removed.len(),
+        singletons: 0,
+    };
+
+    // augment(E): in-neighbour SCC labels per removed node.
+    let inlab = augment_side(env, &level.edel_in, scc_next, Side::In)?;
+    // augment(Ē): out-neighbour SCC labels per removed node.
+    let outlab = augment_side(env, &level.odel, scc_next, Side::Out)?;
+
+    // Line 4: one merged scan computes SCC(v) per removed v.
+    let scc_del = {
+        let mut w = env.writer::<SccLabel>("scc-del")?;
+        let mut removed = level.removed.reader()?;
+        let mut ins = GroupCursor::new(&inlab, |r: &NbrLab| r.0)?;
+        let mut outs = GroupCursor::new(&outlab, |r: &NbrLab| r.0)?;
+        let mut in_buf: Vec<NbrLab> = Vec::new();
+        let mut out_buf: Vec<NbrLab> = Vec::new();
+        while let Some(v) = removed.next()? {
+            let has_in = ins.peek_key()? == Some(v);
+            let in_sccs: &[NbrLab] = if has_in {
+                ins.next_group(&mut in_buf)?;
+                &in_buf
+            } else {
+                &[]
+            };
+            let has_out = outs.peek_key()? == Some(v);
+            let out_sccs: &[NbrLab] = if has_out {
+                outs.next_group(&mut out_buf)?;
+                &out_buf
+            } else {
+                &[]
+            };
+            let common = intersect_sorted(in_sccs, out_sccs);
+            match common {
+                Some(scc) => w.push(SccLabel::new(v, scc))?,
+                None => {
+                    counts.singletons += 1;
+                    w.push(SccLabel::new(v, v))?;
+                }
+            }
+        }
+        debug_assert_eq!(ins.peek_key()?, None, "in-labels for non-removed node");
+        debug_assert_eq!(outs.peek_key()?, None, "out-labels for non-removed node");
+        w.finish()?
+    };
+
+    // Line 5-6: SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node id.
+    let merged = merge_union(env, "scc-i", scc_next, &scc_del, |l| l.node)?;
+    Ok((merged, counts))
+}
+
+enum Side {
+    In,
+    Out,
+}
+
+/// The paper's `augment` procedure (Algorithm 5 lines 8–14): produce
+/// `(removed node, neighbour SCC)` sorted by `(node, scc)` with duplicates
+/// eliminated.
+fn augment_side(
+    env: &DiskEnv,
+    del_edges: &ExtFile<Edge>,
+    scc_next: &ExtFile<SccLabel>,
+    side: Side,
+) -> io::Result<ExtFile<NbrLab>> {
+    // Sort by the cover-side endpoint to join with SCC_{i+1} (lines 11-12).
+    let (by_nbr, label): (ExtFile<Edge>, &str) = match side {
+        Side::In => (
+            sort_by_key(env, del_edges, "aug-in-by-src", |e: &Edge| e.src)?,
+            "aug-in",
+        ),
+        Side::Out => (
+            sort_by_key(env, del_edges, "aug-out-by-dst", |e: &Edge| e.dst)?,
+            "aug-out",
+        ),
+    };
+    let pairs: ExtFile<NbrLab> = match side {
+        Side::In => lookup_join(
+            env,
+            label,
+            &by_nbr,
+            |e| e.src,
+            scc_next,
+            |l| l.node,
+            |e, l| (e.dst, l.scc), // (removed v, SCC(u))
+        )?,
+        Side::Out => lookup_join(
+            env,
+            label,
+            &by_nbr,
+            |e| e.dst,
+            scc_next,
+            |l| l.node,
+            |e, l| (e.src, l.scc), // (removed v, SCC(w))
+        )?,
+    };
+    // Line 13: sort by (removed node, scc); dedup repeated labels.
+    sort_dedup_by_key(env, &pairs, &format!("{label}-sorted"), |r: &NbrLab| *r)
+}
+
+/// Intersection of two `(v, scc)` groups sharing the same `v`, both sorted by
+/// `scc`. Lemma 6.2 guarantees at most one common element; debug builds
+/// verify that.
+fn intersect_sorted(a: &[NbrLab], b: &[NbrLab]) -> Option<u32> {
+    let mut i = 0;
+    let mut j = 0;
+    let mut found: Option<u32> = None;
+    while i < a.len() && j < b.len() {
+        match a[i].1.cmp(&b[j].1) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                debug_assert!(
+                    found.is_none(),
+                    "Lemma 6.2 violated: two common SCCs {} and {}",
+                    found.unwrap(),
+                    a[i].1
+                );
+                found = Some(a[i].1);
+                if cfg!(debug_assertions) {
+                    i += 1;
+                    j += 1;
+                } else {
+                    return found;
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::IoConfig;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(1 << 10, 1 << 14)).unwrap()
+    }
+
+    fn edges(list: &[(u32, u32)]) -> Vec<Edge> {
+        list.iter().map(|&(u, v)| Edge::new(u, v)).collect()
+    }
+
+    fn labels(list: &[(u32, u32)]) -> Vec<SccLabel> {
+        list.iter().map(|&(n, s)| SccLabel::new(n, s)).collect()
+    }
+
+    /// Helper: run expand with explicit level contents.
+    fn run(
+        removed: &[u32],
+        edel_in: &[(u32, u32)],
+        odel: &[(u32, u32)],
+        scc_next: &[(u32, u32)],
+    ) -> (Vec<SccLabel>, ExpandCounts) {
+        let env = env();
+        // edel_in must be sorted by (dst, src); odel by (src, dst).
+        let mut ein = edges(edel_in);
+        ein.sort_by_key(|e| (e.dst, e.src));
+        let mut out = edges(odel);
+        out.sort_by_key(|e| (e.src, e.dst));
+        let level = LevelFiles {
+            removed: env.file_from_slice("rm", removed).unwrap(),
+            edel_in: env.file_from_slice("ein", &ein).unwrap(),
+            odel: env.file_from_slice("odel", &out).unwrap(),
+        };
+        let next = env.file_from_slice("scc", &labels(scc_next)).unwrap();
+        let (out, counts) = expand(&env, &level, &next).unwrap();
+        (out.read_all().unwrap(), counts)
+    }
+
+    #[test]
+    fn removed_node_joins_surrounding_scc() {
+        // Cycle 0 -> 1 -> 2 -> 0 with node 1 removed; SCC_{i+1} has 0 and 2
+        // in one SCC (rep 0) thanks to the bypass edge (0, 2).
+        let (out, counts) = run(
+            &[1],
+            &[(0, 1)], // in-edge of removed 1
+            &[(1, 2)], // out-edge of removed 1
+            &[(0, 0), (2, 0)],
+        );
+        assert_eq!(
+            out,
+            labels(&[(0, 0), (1, 0), (2, 0)]),
+            "node 1 inherits SCC 0"
+        );
+        assert_eq!(counts.removed, 1);
+        assert_eq!(counts.singletons, 0);
+    }
+
+    #[test]
+    fn removed_node_between_different_sccs_is_singleton() {
+        // Paper Example 6.1, node h: in-neighbours in SCC1, out-neighbours
+        // in SCC2, intersection empty -> singleton.
+        let (out, counts) = run(
+            &[7],
+            &[(4, 7)],
+            &[(7, 8)],
+            &[(4, 1), (8, 8)], // SCC(e)=1, SCC(i)=8
+        );
+        assert_eq!(out.iter().find(|l| l.node == 7).unwrap().scc, 7);
+        assert_eq!(counts.singletons, 1);
+    }
+
+    #[test]
+    fn isolated_removed_node_is_singleton() {
+        let (out, counts) = run(&[5], &[], &[], &[(0, 0)]);
+        assert_eq!(out, labels(&[(0, 0), (5, 5)]));
+        assert_eq!(counts.singletons, 1);
+    }
+
+    #[test]
+    fn multiple_removed_nodes_in_one_pass() {
+        // SCC {0,2} (rep 0) and SCC {4,6} (rep 4) in the contracted graph.
+        // Removed: 1 (inside SCC 0), 3 (bridge 0->4, singleton), 5 (inside
+        // SCC 4).
+        let (out, counts) = run(
+            &[1, 3, 5],
+            &[(0, 1), (2, 3), (4, 5)],
+            &[(1, 2), (3, 4), (5, 6)],
+            &[(0, 0), (2, 0), (4, 4), (6, 4)],
+        );
+        let get = |n: u32| out.iter().find(|l| l.node == n).unwrap().scc;
+        assert_eq!(get(1), 0);
+        assert_eq!(get(3), 3);
+        assert_eq!(get(5), 4);
+        assert_eq!(counts.singletons, 1);
+        // Output stays sorted by node.
+        assert!(out.windows(2).all(|w| w[0].node < w[1].node));
+    }
+
+    #[test]
+    fn duplicate_neighbour_labels_are_harmless() {
+        // Removed 1 has two in-neighbours in the same SCC and two
+        // out-neighbours in the same SCC: dedup keeps intersection unique.
+        let (out, _) = run(
+            &[1],
+            &[(0, 1), (2, 1)],
+            &[(1, 0), (1, 2)],
+            &[(0, 0), (2, 0)],
+        );
+        assert_eq!(out.iter().find(|l| l.node == 1).unwrap().scc, 0);
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[], &[]), None);
+        assert_eq!(intersect_sorted(&[(1, 3)], &[]), None);
+        assert_eq!(intersect_sorted(&[(1, 3)], &[(1, 3)]), Some(3));
+        assert_eq!(
+            intersect_sorted(&[(1, 2), (1, 5), (1, 9)], &[(1, 1), (1, 5)]),
+            Some(5)
+        );
+        assert_eq!(intersect_sorted(&[(1, 2), (1, 4)], &[(1, 3), (1, 5)]), None);
+    }
+}

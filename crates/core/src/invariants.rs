@@ -1,0 +1,237 @@
+//! In-memory validation of the three contraction invariants of Section V.
+//!
+//! These checks load the (test-sized) graphs into memory and compare against
+//! Tarjan — they exist so integration and property tests can verify *every
+//! intermediate level* of a run, not just the final answer:
+//!
+//! * **Contractible** — `V_{i+1} ⊂ V_i` strictly;
+//! * **Recoverable** — `V_{i+1}` is a vertex cover of `G_i` (Lemma 5.1); in
+//!   Type-1 mode the cover property is instead required of the *cycle* edges
+//!   (edges incident to a source/sink cannot lie on a cycle and may go
+//!   uncovered);
+//! * **SCC-preservable** — surviving nodes are partitioned identically by the
+//!   SCCs of `G_i` and of `G_{i+1}` (Lemma 5.3).
+//!
+//! Plus a structural sanity check: every edge of `E_{i+1}` must have both
+//! endpoints inside `V_{i+1}`.
+
+use std::collections::HashSet;
+use std::io;
+
+use ce_extmem::ExtFile;
+use ce_graph::csr::CsrGraph;
+use ce_graph::tarjan::tarjan_scc;
+use ce_graph::types::Edge;
+
+/// A violated invariant, with enough context to debug the failing graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// `V_{i+1}` is not strictly smaller than `V_i`.
+    NotContractible {
+        /// `|V_i|`.
+        n_before: u64,
+        /// `|V_{i+1}|`.
+        n_after: u64,
+    },
+    /// An edge of `G_i` has neither endpoint in the cover.
+    NotACover {
+        /// The uncovered edge.
+        edge: (u32, u32),
+    },
+    /// An edge of `G_{i+1}` mentions a node outside `V_{i+1}`.
+    EdgeEscapesCover {
+        /// The offending edge.
+        edge: (u32, u32),
+    },
+    /// Two surviving nodes changed their same-SCC relationship.
+    NotSccPreservable {
+        /// Witness pair.
+        pair: (u32, u32),
+        /// Same SCC in `G_i`?
+        same_before: bool,
+    },
+}
+
+/// Checks all contraction invariants for one level. `type1` relaxes the
+/// cover check as described in the module docs.
+pub fn check_contraction(
+    n_nodes: u64,
+    edges_i: &ExtFile<Edge>,
+    cover: &ExtFile<u32>,
+    edges_next: &ExtFile<Edge>,
+    type1: bool,
+) -> io::Result<Vec<InvariantViolation>> {
+    let mut violations = Vec::new();
+    let e_i = edges_i.read_all()?;
+    let cov: Vec<u32> = cover.read_all()?;
+    let cov_set: HashSet<u32> = cov.iter().copied().collect();
+    let e_next = edges_next.read_all()?;
+
+    // Contractible.
+    if cover.len() >= n_nodes {
+        violations.push(InvariantViolation::NotContractible {
+            n_before: n_nodes,
+            n_after: cover.len(),
+        });
+    }
+
+    // Recoverable / vertex cover. Self-loops never need covering (removing
+    // their node just deletes them — see `get_v`); in Type-1 mode edges
+    // touching a source/sink are additionally exempt.
+    let (sources_sinks, _) = degree_classes(n_nodes, &e_i);
+    for e in &e_i {
+        if e.is_loop() {
+            continue;
+        }
+        if type1 && (sources_sinks.contains(&e.src) || sources_sinks.contains(&e.dst)) {
+            continue;
+        }
+        if !cov_set.contains(&e.src) && !cov_set.contains(&e.dst) {
+            violations.push(InvariantViolation::NotACover {
+                edge: (e.src, e.dst),
+            });
+        }
+    }
+
+    // E_{i+1} endpoints inside the cover.
+    for e in &e_next {
+        if !cov_set.contains(&e.src) || !cov_set.contains(&e.dst) {
+            violations.push(InvariantViolation::EdgeEscapesCover {
+                edge: (e.src, e.dst),
+            });
+        }
+    }
+
+    // SCC-preservable over surviving nodes.
+    let scc_i = tarjan_scc(&CsrGraph::from_edges(n_nodes, &e_i));
+    let scc_next = tarjan_scc(&CsrGraph::from_edges(n_nodes, &e_next));
+    // Compare the partitions restricted to the cover by checking that the
+    // pairing (comp_i, comp_next) is a bijection between used ids.
+    use std::collections::HashMap;
+    let mut fwd: HashMap<u32, u32> = HashMap::new();
+    let mut bwd: HashMap<u32, u32> = HashMap::new();
+    let mut witness: HashMap<u32, u32> = HashMap::new(); // comp_i -> witness node
+    for &v in &cov {
+        let a = scc_i.comp[v as usize];
+        let b = scc_next.comp[v as usize];
+        let w = *witness.entry(a).or_insert(v);
+        if *fwd.entry(a).or_insert(b) != b || *bwd.entry(b).or_insert(a) != a {
+            violations.push(InvariantViolation::NotSccPreservable {
+                pair: (w, v),
+                same_before: scc_i.comp[w as usize] == a,
+            });
+            break;
+        }
+    }
+
+    Ok(violations)
+}
+
+/// Returns `(nodes with deg_in == 0 or deg_out == 0, nodes with both > 0)`.
+fn degree_classes(n_nodes: u64, edges: &[Edge]) -> (HashSet<u32>, HashSet<u32>) {
+    let n = n_nodes as usize;
+    let mut din = vec![0u32; n];
+    let mut dout = vec![0u32; n];
+    for e in edges {
+        dout[e.src as usize] += 1;
+        din[e.dst as usize] += 1;
+    }
+    let mut ss = HashSet::new();
+    let mut both = HashSet::new();
+    for v in 0..n {
+        if din[v] == 0 || dout[v] == 0 {
+            ss.insert(v as u32);
+        } else {
+            both.insert(v as u32);
+        }
+    }
+    (ss, both)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::{DiskEnv, IoConfig};
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::small_for_tests()).unwrap()
+    }
+
+    fn edges(env: &DiskEnv, list: &[(u32, u32)]) -> ExtFile<Edge> {
+        let es: Vec<Edge> = list.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        env.file_from_slice("e", &es).unwrap()
+    }
+
+    #[test]
+    fn passes_on_a_correct_contraction() {
+        let env = env();
+        // cycle 0-1-2 with node 0 removed (cover {1,2}), bypass (2,1).
+        let ei = edges(&env, &[(0, 1), (1, 2), (2, 0)]);
+        let cover = env.file_from_slice("c", &[1u32, 2]).unwrap();
+        let enext = edges(&env, &[(1, 2), (2, 1)]);
+        let v = check_contraction(3, &ei, &cover, &enext, false).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn detects_missing_cover() {
+        let env = env();
+        let ei = edges(&env, &[(0, 1)]);
+        let cover = env.file_from_slice("c", &[2u32]).unwrap();
+        let enext = edges(&env, &[]);
+        let v = check_contraction(3, &ei, &cover, &enext, false).unwrap();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::NotACover { edge: (0, 1) })));
+    }
+
+    #[test]
+    fn detects_escaping_edge() {
+        let env = env();
+        let ei = edges(&env, &[(0, 1)]);
+        let cover = env.file_from_slice("c", &[1u32]).unwrap();
+        let enext = edges(&env, &[(1, 5)]);
+        let v = check_contraction(6, &ei, &cover, &enext, false).unwrap();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::EdgeEscapesCover { .. })));
+    }
+
+    #[test]
+    fn detects_broken_scc_preservation() {
+        let env = env();
+        // G_i: cycle 1-2 (one SCC); bogus G_{i+1} drops the back edge.
+        let ei = edges(&env, &[(1, 2), (2, 1)]);
+        let cover = env.file_from_slice("c", &[1u32, 2]).unwrap();
+        let enext = edges(&env, &[(1, 2)]);
+        let v = check_contraction(3, &ei, &cover, &enext, false).unwrap();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::NotSccPreservable { .. })));
+    }
+
+    #[test]
+    fn detects_non_contraction() {
+        let env = env();
+        let ei = edges(&env, &[(0, 1)]);
+        let cover = env.file_from_slice("c", &[0u32, 1]).unwrap();
+        let enext = edges(&env, &[(0, 1)]);
+        let v = check_contraction(2, &ei, &cover, &enext, false).unwrap();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::NotContractible { .. })));
+    }
+
+    #[test]
+    fn type1_mode_permits_uncovered_source_edges() {
+        let env = env();
+        // 5 is a pure source; edge (5,1) uncovered is fine under Type-1.
+        let ei = edges(&env, &[(5, 1), (1, 2), (2, 1)]);
+        let cover = env.file_from_slice("c", &[1u32, 2]).unwrap();
+        let enext = edges(&env, &[(1, 2), (2, 1)]);
+        let strict = check_contraction(6, &ei, &cover, &enext, false).unwrap();
+        assert!(strict.is_empty(), "{strict:?}"); // (5,1) covered by 1 anyway
+        let relaxed = check_contraction(6, &ei, &cover, &enext, true).unwrap();
+        assert!(relaxed.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The `>` total orders over nodes (Definitions 5.1 and 7.1).
+//!
+//! Algorithm 3 adds, for every edge, the *larger* endpoint under `>` to the
+//! vertex cover — so a node is removed only if *all* its neighbours dominate
+//! it, which is what bounds the degree of removed nodes (Theorem 5.3) and
+//! hence the number of bypass edges (Theorem 5.4).
+//!
+//! * Definition 5.1 compares by total degree, tie-broken by id.
+//! * Definition 7.1 (the Ext-SCC-Op refinement) inserts a second criterion,
+//!   `deg_in × deg_out`, before the id tie-break: removing a node creates
+//!   exactly `deg_in · deg_out` bypass edges, so among equal-degree nodes the
+//!   one that would create *more* edges is kept in the cover.
+
+use ce_graph::types::NodeDegrees;
+
+/// Which `>` operator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderKind {
+    /// Definition 5.1: `(deg, id)` lexicographic.
+    #[default]
+    Degree,
+    /// Definition 7.1: `(deg, deg_in × deg_out, id)` lexicographic.
+    DegreeProduct,
+}
+
+/// Comparison key of one node under either operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeKey {
+    /// Total degree.
+    pub deg: u64,
+    /// `deg_in × deg_out`.
+    pub prod: u64,
+    /// Node id (unique, so the order is total).
+    pub id: u32,
+}
+
+impl NodeKey {
+    /// Builds a key from a degree-table record.
+    pub fn from_degrees(d: &NodeDegrees) -> NodeKey {
+        NodeKey {
+            deg: d.total(),
+            prod: d.product(),
+            id: d.node,
+        }
+    }
+
+    /// Builds a key from raw fields (used when keys travel inside edge
+    /// records).
+    pub fn new(id: u32, deg_in: u32, deg_out: u32) -> NodeKey {
+        NodeKey {
+            deg: deg_in as u64 + deg_out as u64,
+            prod: deg_in as u64 * deg_out as u64,
+            id,
+        }
+    }
+}
+
+/// The `>` operator: returns true iff `a > b` under `kind`.
+pub fn node_greater(kind: OrderKind, a: &NodeKey, b: &NodeKey) -> bool {
+    match kind {
+        OrderKind::Degree => (a.deg, a.id) > (b.deg, b.id),
+        OrderKind::DegreeProduct => (a.deg, a.prod, a.id) > (b.deg, b.prod, b.id),
+    }
+}
+
+/// Ordering tuple usable as a `BTreeSet` key (ascending in `>` terms), used
+/// by the Type-2 bounded dictionary to evict its largest member.
+pub fn sort_key(kind: OrderKind, k: &NodeKey) -> (u64, u64, u32) {
+    match kind {
+        OrderKind::Degree => (k.deg, 0, k.id),
+        OrderKind::DegreeProduct => (k.deg, k.prod, k.id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u32, din: u32, dout: u32) -> NodeKey {
+        NodeKey::new(id, din, dout)
+    }
+
+    #[test]
+    fn definition_5_1_degree_then_id() {
+        let k = OrderKind::Degree;
+        assert!(node_greater(k, &key(1, 3, 3), &key(2, 2, 2)));
+        assert!(node_greater(k, &key(5, 2, 2), &key(3, 2, 2)), "id breaks tie");
+        assert!(!node_greater(k, &key(3, 2, 2), &key(5, 2, 2)));
+        // Degree product must NOT matter for Definition 5.1.
+        assert!(node_greater(k, &key(9, 4, 0), &key(1, 2, 2)));
+    }
+
+    #[test]
+    fn definition_7_1_product_breaks_degree_ties() {
+        let k = OrderKind::DegreeProduct;
+        // same deg 4: (1,3) product 3 vs (2,2) product 4.
+        assert!(node_greater(k, &key(1, 2, 2), &key(9, 1, 3)));
+        assert!(!node_greater(k, &key(9, 1, 3), &key(1, 2, 2)));
+        // same deg, same product: id decides.
+        assert!(node_greater(k, &key(9, 2, 2), &key(1, 2, 2)));
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        for kind in [OrderKind::Degree, OrderKind::DegreeProduct] {
+            let keys = [key(0, 1, 2), key(1, 2, 1), key(2, 0, 3), key(3, 3, 0)];
+            for a in &keys {
+                assert!(!node_greater(kind, a, a), "irreflexive");
+                for b in &keys {
+                    if a.id != b.id {
+                        assert_ne!(
+                            node_greater(kind, a, b),
+                            node_greater(kind, b, a),
+                            "exactly one of a>b, b>a"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_key_agrees_with_operator() {
+        for kind in [OrderKind::Degree, OrderKind::DegreeProduct] {
+            let a = key(4, 5, 1);
+            let b = key(7, 2, 4);
+            assert_eq!(
+                node_greater(kind, &a, &b),
+                sort_key(kind, &a) > sort_key(kind, &b)
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! On-disk visited bitmap (one byte per node) with a bounded cache.
+//!
+//! The visited set of an external DFS cannot live in memory (that would be
+//! the semi-external assumption). Reads and writes go through a small LRU
+//! cache; under DFS's non-local access pattern most accesses miss, which is
+//! precisely the random-I/O cost the paper attributes to DFS-SCC.
+
+use std::io;
+
+use ce_extmem::file::CountedFile;
+use ce_extmem::DiskEnv;
+
+use crate::cache::CachedFile;
+
+/// Byte-per-node visited flags stored in a scratch file.
+pub struct DiskBitmap {
+    cache: CachedFile,
+    n: u64,
+}
+
+impl DiskBitmap {
+    /// Creates an all-zero bitmap for `n` nodes with a `cache_blocks` cache.
+    pub fn new(env: &DiskEnv, n: u64, cache_blocks: usize) -> io::Result<DiskBitmap> {
+        let path = env.root().join(format!("bitmap-{n}-{cache_blocks}.bin"));
+        let mut file = CountedFile::create(env, &path)?;
+        let block = env.config().block_size;
+        let zeros = vec![0u8; block];
+        let mut written = 0u64;
+        while written < n {
+            let take = (n - written).min(block as u64) as usize;
+            file.write_at(written, &zeros[..take])?;
+            written += take as u64;
+        }
+        Ok(DiskBitmap {
+            cache: CachedFile::new(file, block, cache_blocks),
+            n,
+        })
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Reads flag `v`.
+    pub fn get(&mut self, v: u32) -> io::Result<bool> {
+        debug_assert!((v as u64) < self.n);
+        let mut b = [0u8; 1];
+        self.cache.read_at(v as u64, &mut b)?;
+        Ok(b[0] != 0)
+    }
+
+    /// Sets flag `v`.
+    pub fn set(&mut self, v: u32) -> io::Result<()> {
+        debug_assert!((v as u64) < self.n);
+        self.cache.write_at(v as u64, &[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::IoConfig;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let env = DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap();
+        let mut bm = DiskBitmap::new(&env, 1000, 2).unwrap();
+        assert!(!bm.get(0).unwrap());
+        assert!(!bm.get(999).unwrap());
+        bm.set(0).unwrap();
+        bm.set(999).unwrap();
+        bm.set(500).unwrap();
+        assert!(bm.get(0).unwrap());
+        assert!(bm.get(999).unwrap());
+        assert!(bm.get(500).unwrap());
+        assert!(!bm.get(501).unwrap());
+    }
+
+    #[test]
+    fn survives_cache_eviction() {
+        let env = DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap();
+        let mut bm = DiskBitmap::new(&env, 4096, 2).unwrap();
+        for v in (0..4096u32).step_by(64) {
+            bm.set(v).unwrap();
+        }
+        for v in 0..4096u32 {
+            assert_eq!(bm.get(v).unwrap(), v % 64 == 0, "flag {v}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! A small LRU block cache over a counted file.
+//!
+//! The external DFS needs random access to adjacency lists, offsets, and the
+//! visited bitmap. A real implementation would keep a handful of hot blocks
+//! in its memory budget; this cache models exactly that (and its capacity is
+//! derived from the budget by the caller). Every miss is a counted random
+//! block read on the underlying [`CountedFile`] — the I/Os that dominate the
+//! paper's DFS-SCC baseline.
+
+use std::collections::HashMap;
+use std::io;
+
+use ce_extmem::file::CountedFile;
+
+/// Fixed-capacity LRU cache of block-aligned file contents.
+pub struct CachedFile {
+    file: CountedFile,
+    block: usize,
+    capacity: usize,
+    blocks: HashMap<u64, CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct CacheEntry {
+    data: Vec<u8>,
+    stamp: u64,
+}
+
+impl CachedFile {
+    /// Wraps `file` with a cache of `capacity` blocks of `block` bytes.
+    pub fn new(file: CountedFile, block: usize, capacity: usize) -> CachedFile {
+        CachedFile {
+            file,
+            block,
+            capacity: capacity.max(1),
+            blocks: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn load_block(&mut self, idx: u64) -> io::Result<()> {
+        if let Some(e) = self.blocks.get_mut(&idx) {
+            self.clock += 1;
+            e.stamp = self.clock;
+            self.hits += 1;
+            return Ok(());
+        }
+        self.misses += 1;
+        let mut data = vec![0u8; self.block];
+        let n = self.file.read_at(idx * self.block as u64, &mut data)?;
+        data.truncate(n);
+        if self.blocks.len() >= self.capacity {
+            // Evict the least recently used block.
+            if let Some((&victim, _)) = self.blocks.iter().min_by_key(|(_, e)| e.stamp) {
+                self.blocks.remove(&victim);
+            }
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        self.blocks.insert(idx, CacheEntry { data, stamp });
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset` through the cache.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let idx = pos / self.block as u64;
+            let within = (pos % self.block as u64) as usize;
+            self.load_block(idx)?;
+            let entry = self.blocks.get(&idx).expect("block just loaded");
+            let avail = entry.data.len().saturating_sub(within);
+            if avail == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "cached read past end of file",
+                ));
+            }
+            let take = avail.min(buf.len() - done);
+            buf[done..done + take].copy_from_slice(&entry.data[within..within + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` at `offset`, write-through (counted), updating any
+    /// cached copy in place.
+    pub fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.file.write_at(offset, buf)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let idx = pos / self.block as u64;
+            let within = (pos % self.block as u64) as usize;
+            let take = (self.block - within).min(buf.len() - done);
+            if let Some(e) = self.blocks.get_mut(&idx) {
+                if e.data.len() < within + take {
+                    e.data.resize(within + take, 0);
+                }
+                e.data[within..within + take].copy_from_slice(&buf[done..done + take]);
+            }
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Reads one little-endian `u32` at logical index `i` (4-byte records).
+    pub fn read_u32(&mut self, i: u64) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_at(i * 4, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads one little-endian `u64` at logical index `i` (8-byte records).
+    pub fn read_u64(&mut self, i: u64) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_at(i * 8, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::{DiskEnv, IoConfig};
+
+    fn setup(content: &[u8], capacity: usize) -> (DiskEnv, CachedFile) {
+        let env = DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap();
+        let path = env.root().join("data.bin");
+        std::fs::write(&path, content).unwrap();
+        let file = CountedFile::open_rw(&env, &path).unwrap();
+        let cached = CachedFile::new(file, 64, capacity);
+        (env, cached)
+    }
+
+    #[test]
+    fn read_through_and_hit() {
+        let data: Vec<u8> = (0..=255).collect();
+        let (env, mut c) = setup(&data, 4);
+        let mut buf = [0u8; 8];
+        c.read_at(10, &mut buf).unwrap();
+        assert_eq!(buf, [10, 11, 12, 13, 14, 15, 16, 17]);
+        let ios_after_first = env.stats().snapshot().total_ios();
+        c.read_at(12, &mut buf).unwrap(); // same block: hit
+        assert_eq!(env.stats().snapshot().total_ios(), ios_after_first);
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_causes_rereads() {
+        let data = vec![7u8; 64 * 8];
+        let (env, mut c) = setup(&data, 2);
+        let mut b = [0u8; 1];
+        for blk in 0..6u64 {
+            c.read_at(blk * 64, &mut b).unwrap();
+        }
+        // Re-read block 0: evicted, must re-fetch.
+        let before = env.stats().snapshot().total_ios();
+        c.read_at(0, &mut b).unwrap();
+        assert_eq!(env.stats().snapshot().total_ios(), before + 1);
+    }
+
+    #[test]
+    fn write_through_updates_cache() {
+        let data = vec![0u8; 128];
+        let (_env, mut c) = setup(&data, 4);
+        let mut b = [0u8; 4];
+        c.read_at(0, &mut b).unwrap();
+        c.write_at(2, &[9, 9]).unwrap();
+        c.read_at(0, &mut b).unwrap();
+        assert_eq!(b, [0, 0, 9, 9]);
+    }
+
+    #[test]
+    fn spanning_reads_cross_blocks() {
+        let data: Vec<u8> = (0..128).collect();
+        let (_env, mut c) = setup(&data, 4);
+        let mut buf = [0u8; 16];
+        c.read_at(56, &mut buf).unwrap(); // spans blocks 0 and 1
+        let want: Vec<u8> = (56..72).collect();
+        assert_eq!(&buf[..], &want[..]);
+    }
+
+    #[test]
+    fn typed_reads() {
+        let mut data = Vec::new();
+        for i in 0..20u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+        }
+        let (_env, mut c) = setup(&data, 2);
+        assert_eq!(c.read_u32(7).unwrap(), 7);
+        assert_eq!(c.read_u32(19).unwrap(), 19);
+    }
+}

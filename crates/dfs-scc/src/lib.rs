@@ -1,0 +1,544 @@
+//! DFS-SCC — the external-DFS baseline (Algorithm 1 of the paper).
+//!
+//! Computes SCCs with the Kosaraju–Sharir method while keeping *all* state
+//! external: adjacency on disk ([`csr::DiskCsr`]), the visited set on disk
+//! ([`bitmap::DiskBitmap`]), and the recursion stack on disk
+//! ([`stack::DiskStack`]). Two variants:
+//!
+//! * [`DfsMode::Naive`] — externalizes the textbook DFS directly: every
+//!   adjacency probe and visited check is a (cached) random block access,
+//!   `O(|E|)` random I/Os in the worst case;
+//! * [`DfsMode::Brt`] — the Buchsbaum et al. (SODA'00) scheme the paper
+//!   cites as reference 8: when a node `v` is visited, a notification `(u, v)` is
+//!   inserted into a buffered repository tree for every in-neighbour `u`;
+//!   a frame needing its next child extracts its notifications instead of
+//!   probing the visited structure per edge, giving the
+//!   `O((|V| + |E|/B)·log₂(|V|/B) + sort(|E|))` bound — still dominated by
+//!   per-vertex random I/Os, which is the paper's argument for Ext-SCC.
+//!
+//! Both variants support the wall-clock/I/O budgets the experiments use to
+//! report the paper's "INF" entries, and both are verified against Tarjan.
+
+pub mod bitmap;
+pub mod cache;
+pub mod csr;
+pub mod stack;
+
+use std::fmt;
+use std::io;
+use std::time::{Duration, Instant};
+
+use ce_extmem::brt::{Brt, BrtStats};
+use ce_extmem::file::CountedFile;
+use ce_extmem::{sort_by_key, DiskEnv, ExtFile, IoSnapshot};
+use ce_graph::types::SccLabel;
+use ce_graph::EdgeListGraph;
+
+use bitmap::DiskBitmap;
+use csr::DiskCsr;
+use stack::{DiskStack, Frame};
+
+/// Which external DFS variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DfsMode {
+    /// Direct externalization (visited bitmap probed per edge).
+    #[default]
+    Naive,
+    /// Buffered-repository-tree visited notifications (Buchsbaum et al.).
+    Brt,
+}
+
+impl DfsMode {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DfsMode::Naive => "naive",
+            DfsMode::Brt => "brt",
+        }
+    }
+}
+
+/// Configuration of a DFS-SCC run.
+#[derive(Debug, Clone, Default)]
+pub struct DfsSccConfig {
+    /// Variant to run.
+    pub mode: DfsMode,
+    /// Wall-clock budget (exceeded ⇒ the paper's INF).
+    pub deadline: Option<Duration>,
+    /// Block-I/O budget (exceeded ⇒ INF).
+    pub io_limit: Option<u64>,
+}
+
+/// Why a DFS-SCC run failed.
+#[derive(Debug)]
+pub enum DfsSccError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Wall-clock budget exceeded.
+    DeadlineExceeded {
+        /// Time spent.
+        elapsed: Duration,
+    },
+    /// I/O budget exceeded.
+    IoLimitExceeded {
+        /// Block transfers consumed.
+        ios: u64,
+    },
+}
+
+impl fmt::Display for DfsSccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsSccError::Io(e) => write!(f, "I/O error: {e}"),
+            DfsSccError::DeadlineExceeded { elapsed } => {
+                write!(f, "DFS-SCC deadline exceeded after {elapsed:?} (INF)")
+            }
+            DfsSccError::IoLimitExceeded { ios } => {
+                write!(f, "DFS-SCC I/O limit exceeded after {ios} transfers (INF)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfsSccError {}
+
+impl From<io::Error> for DfsSccError {
+    fn from(e: io::Error) -> Self {
+        DfsSccError::Io(e)
+    }
+}
+
+/// Report of a completed DFS-SCC run.
+#[derive(Debug, Clone)]
+pub struct DfsReport {
+    /// Variant that ran.
+    pub mode: DfsMode,
+    /// Total block I/Os.
+    pub total_ios: IoSnapshot,
+    /// Wall time.
+    pub total_wall: Duration,
+    /// Deepest recursion depth reached across both passes.
+    pub max_stack_depth: u64,
+    /// BRT counters (BRT mode only), summed over both passes.
+    pub brt: Option<BrtStats>,
+    /// Number of SCCs found.
+    pub n_sccs: u64,
+}
+
+struct Limits<'a> {
+    env: &'a DiskEnv,
+    start: Instant,
+    io0: IoSnapshot,
+    deadline: Option<Duration>,
+    io_limit: Option<u64>,
+}
+
+impl Limits<'_> {
+    fn check(&self) -> Result<(), DfsSccError> {
+        if let Some(d) = self.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed > d {
+                return Err(DfsSccError::DeadlineExceeded { elapsed });
+            }
+        }
+        if let Some(limit) = self.io_limit {
+            let ios = self.env.stats().snapshot().since(&self.io0).total_ios();
+            if ios > limit {
+                return Err(DfsSccError::IoLimitExceeded { ios });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One external DFS traversal (one pass of Kosaraju).
+struct Traversal<'a> {
+    csr: DiskCsr,
+    /// In-neighbour provider for BRT notifications (the CSR of the
+    /// *opposite* direction), present in BRT mode.
+    notif: Option<DiskCsr>,
+    brt: Option<Brt>,
+    visited: DiskBitmap,
+    stack: DiskStack,
+    limits: &'a Limits<'a>,
+    steps: u64,
+    scratch: Vec<u32>,
+}
+
+impl Traversal<'_> {
+    fn visited(&mut self, v: u32) -> io::Result<bool> {
+        self.visited.get(v)
+    }
+
+    fn on_visit(&mut self, v: u32) -> io::Result<()> {
+        self.visited.set(v)?;
+        if let (Some(notif), Some(brt)) = (self.notif.as_mut(), self.brt.as_mut()) {
+            self.scratch.clear();
+            notif.neighbors(v, &mut self.scratch)?;
+            for i in 0..self.scratch.len() {
+                brt.insert(self.scratch[i], v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a DFS from `root` (which must be unvisited), invoking
+    /// `on_finish(node)` in postorder.
+    fn dfs<F>(&mut self, root: u32, mut on_finish: F) -> Result<(), DfsSccError>
+    where
+        F: FnMut(u32) -> io::Result<()>,
+    {
+        self.on_visit(root)?;
+        self.stack.push(Frame {
+            node: root,
+            cursor: 0,
+        })?;
+        let mut extracted: Vec<u32> = Vec::new();
+        while let Some(frame) = self.stack.top_mut()?.map(|f| *f) {
+            self.steps += 1;
+            if self.steps.is_multiple_of(256) {
+                self.limits.check()?;
+            }
+            let u = frame.node;
+            let deg = self.csr.degree(u)?;
+            let mut cur = frame.cursor;
+            // In BRT mode the extraction replaces per-edge visited probes.
+            let use_brt = self.brt.is_some();
+            if use_brt {
+                extracted.clear();
+                self.brt
+                    .as_mut()
+                    .expect("brt present")
+                    .extract(u, &mut extracted)?;
+                extracted.sort_unstable();
+            }
+            let mut child: Option<u32> = None;
+            while cur < deg {
+                let v = self.csr.neighbor(u, cur)?;
+                cur += 1;
+                let is_visited = if use_brt {
+                    extracted.binary_search(&v).is_ok()
+                } else {
+                    self.visited(v)?
+                };
+                if !is_visited {
+                    child = Some(v);
+                    break;
+                }
+            }
+            if let Some(top) = self.stack.top_mut()? {
+                top.cursor = cur;
+            }
+            match child {
+                Some(v) => {
+                    self.on_visit(v)?;
+                    self.stack.push(Frame { node: v, cursor: 0 })?;
+                }
+                None => {
+                    self.stack.pop()?;
+                    if let Some(brt) = self.brt.as_mut() {
+                        brt.retire(u);
+                    }
+                    on_finish(u)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs DFS-SCC on `g`; returns labels sorted by node id plus the report.
+pub fn dfs_scc(
+    env: &DiskEnv,
+    g: &EdgeListGraph,
+    cfg: &DfsSccConfig,
+) -> Result<(ExtFile<SccLabel>, DfsReport), DfsSccError> {
+    let start = Instant::now();
+    let io0 = env.stats().snapshot();
+    let limits = Limits {
+        env,
+        start,
+        io0,
+        deadline: cfg.deadline,
+        io_limit: cfg.io_limit,
+    };
+    let n = g.n_nodes();
+    let blocks = env.config().blocks_in_memory();
+    let cache_blocks = (blocks / 8).max(2);
+    let window = (env.config().block_size / 12).max(16);
+
+    let mut brt_total: Option<BrtStats> = None;
+    let mut max_depth = 0u64;
+
+    // ---- Pass 1: DFS on G in id order; record the postorder. ----
+    let postorder: ExtFile<u32> = {
+        let csr = DiskCsr::build(env, g, false, cache_blocks)?;
+        let notif = match cfg.mode {
+            DfsMode::Brt => Some(DiskCsr::build(env, g, true, cache_blocks)?),
+            DfsMode::Naive => None,
+        };
+        let mut t = Traversal {
+            csr,
+            brt: notif.as_ref().map(|_| Brt::new(env, "dfs1")),
+            notif,
+            visited: DiskBitmap::new(env, n.max(1), cache_blocks)?,
+            stack: DiskStack::new(env, window)?,
+            limits: &limits,
+            steps: 0,
+            scratch: Vec::new(),
+        };
+        let mut post = env.writer::<u32>("postorder")?;
+        for root in 0..n as u32 {
+            if t.visited(root)? {
+                continue;
+            }
+            t.dfs(root, |v| post.push(v))?;
+        }
+        max_depth = max_depth.max(t.stack.max_depth());
+        if let Some(b) = &t.brt {
+            brt_total = Some(b.stats());
+        }
+        post.finish()?
+    };
+
+    // ---- Pass 2: DFS on Ḡ with roots in decreasing postorder. ----
+    let labels_unsorted: ExtFile<SccLabel> = {
+        let csr = DiskCsr::build(env, g, true, cache_blocks)?;
+        let notif = match cfg.mode {
+            DfsMode::Brt => Some(DiskCsr::build(env, g, false, cache_blocks)?),
+            DfsMode::Naive => None,
+        };
+        let mut t = Traversal {
+            csr,
+            brt: notif.as_ref().map(|_| Brt::new(env, "dfs2")),
+            notif,
+            visited: DiskBitmap::new(env, n.max(1), cache_blocks)?,
+            stack: DiskStack::new(env, window)?,
+            limits: &limits,
+            steps: 0,
+            scratch: Vec::new(),
+        };
+        let mut w = env.writer::<SccLabel>("dfs-labels")?;
+        let mut back = BackwardReader::new(env, &postorder)?;
+        while let Some(root) = back.next()? {
+            if t.visited(root)? {
+                continue;
+            }
+            // Every node reached from `root` in Ḡ before exhaustion belongs
+            // to SCC(root) (Algorithm 1 line 5); label at finish time.
+            t.dfs(root, |v| w.push(SccLabel::new(v, root)))?;
+        }
+        max_depth = max_depth.max(t.stack.max_depth());
+        if let (Some(total), Some(b)) = (brt_total.as_mut(), t.brt.as_ref()) {
+            let s = b.stats();
+            total.inserts += s.inserts;
+            total.extracts += s.extracts;
+            total.probes += s.probes;
+            total.resident += s.resident;
+        }
+        w.finish()?
+    };
+
+    let labels = sort_by_key(env, &labels_unsorted, "dfs-labels-sorted", |l: &SccLabel| {
+        l.node
+    })?;
+    let distinct = ce_extmem::sort_dedup_by_key(env, &labels, "dfs-nscc", |l: &SccLabel| l.scc)?;
+    let n_sccs = distinct.len();
+
+    Ok((
+        labels,
+        DfsReport {
+            mode: cfg.mode,
+            total_ios: env.stats().snapshot().since(&io0),
+            total_wall: start.elapsed(),
+            max_stack_depth: max_depth,
+            brt: brt_total,
+            n_sccs,
+        },
+    ))
+}
+
+/// Reads a `u32` file back-to-front in block-sized chunks.
+struct BackwardReader {
+    file: CountedFile,
+    chunk: Vec<u32>,
+    /// Records below the current chunk.
+    base: u64,
+    chunk_records: usize,
+}
+
+impl BackwardReader {
+    fn new(env: &DiskEnv, f: &ExtFile<u32>) -> io::Result<BackwardReader> {
+        Ok(BackwardReader {
+            file: CountedFile::open_read(env, f.path())?,
+            chunk: Vec::new(),
+            base: f.len(),
+            chunk_records: (env.config().block_size / 4).max(1),
+        })
+    }
+
+    fn next(&mut self) -> io::Result<Option<u32>> {
+        if self.chunk.is_empty() {
+            if self.base == 0 {
+                return Ok(None);
+            }
+            let take = (self.chunk_records as u64).min(self.base) as usize;
+            self.base -= take as u64;
+            let mut buf = vec![0u8; take * 4];
+            let got = self.file.read_at(self.base * 4, &mut buf)?;
+            debug_assert_eq!(got, buf.len());
+            self.chunk = buf
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+        }
+        Ok(self.chunk.pop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::IoConfig;
+    use ce_graph::csr::CsrGraph;
+    use ce_graph::gen;
+    use ce_graph::labels::{same_partition, SccLabeling};
+    use ce_graph::tarjan::tarjan_scc;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(1 << 9, 1 << 13)).unwrap()
+    }
+
+    fn check(g: &EdgeListGraph, mode: DfsMode) -> DfsReport {
+        let env = env();
+        let cfg = DfsSccConfig {
+            mode,
+            ..Default::default()
+        };
+        let (labels, report) = dfs_scc(&env, g, &cfg).unwrap();
+        let lab = SccLabeling::from_file(&labels, g.n_nodes()).unwrap();
+        let edges = g.edges_in_memory().unwrap();
+        let truth = tarjan_scc(&CsrGraph::from_edges(g.n_nodes(), &edges));
+        assert!(
+            same_partition(&lab.rep, &truth.comp),
+            "mode {mode:?} mismatch"
+        );
+        assert_eq!(report.n_sccs, truth.count as u64);
+        report
+    }
+
+    #[test]
+    fn paper_example_both_modes() {
+        let env = env();
+        let g = EdgeListGraph::from_slice(
+            &env,
+            13,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 1),
+                (4, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 8),
+                (9, 12),
+            ],
+        )
+        .unwrap();
+        let naive = check(&g, DfsMode::Naive);
+        assert_eq!(naive.n_sccs, 5);
+        let brt = check(&g, DfsMode::Brt);
+        assert_eq!(brt.n_sccs, 5);
+        assert!(brt.brt.is_some());
+    }
+
+    #[test]
+    fn cycles_paths_dags() {
+        let env = env();
+        for mode in [DfsMode::Naive, DfsMode::Brt] {
+            check(&gen::cycle(&env, 300).unwrap(), mode);
+            check(&gen::path(&env, 300).unwrap(), mode);
+            check(&gen::dag_layered(&env, 200, 5, 600, 3).unwrap(), mode);
+            check(&gen::disjoint_cycles(&env, &[40, 60, 80]).unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_tarjan() {
+        use rand::{Rng, SeedableRng};
+        let envx = env();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for case in 0..8 {
+            let n = rng.gen_range(30..200u32);
+            let m = rng.gen_range(0..600u64);
+            let g = gen::random_gnm(&envx, n.max(2), m, case).unwrap();
+            check(&g, DfsMode::Naive);
+            check(&g, DfsMode::Brt);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_labelled() {
+        let env = env();
+        let g = EdgeListGraph::from_slice(&env, 50, &[(0, 1), (1, 0)]).unwrap();
+        let report = check(&g, DfsMode::Naive);
+        assert_eq!(report.n_sccs, 49);
+    }
+
+    #[test]
+    fn deep_recursion_spills_stack() {
+        let env = env();
+        let g = gen::cycle(&env, 5000).unwrap();
+        let report = check(&g, DfsMode::Naive);
+        assert!(report.max_stack_depth >= 5000, "cycle DFS goes full depth");
+    }
+
+    #[test]
+    fn io_limit_reports_inf() {
+        let env = env();
+        let g = gen::permuted_cycle(&env, 3000, 5).unwrap();
+        let cfg = DfsSccConfig {
+            mode: DfsMode::Naive,
+            io_limit: Some(100),
+            ..Default::default()
+        };
+        match dfs_scc(&env, &g, &cfg) {
+            Err(DfsSccError::IoLimitExceeded { .. }) => {}
+            other => panic!("expected INF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_reports_inf() {
+        let env = env();
+        let g = gen::permuted_cycle(&env, 3000, 5).unwrap();
+        let cfg = DfsSccConfig {
+            mode: DfsMode::Brt,
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        match dfs_scc(&env, &g, &cfg) {
+            Err(DfsSccError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected INF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_io_dominates_naive_mode() {
+        let env = env();
+        let g = gen::permuted_cycle(&env, 2000, 9).unwrap();
+        let cfg = DfsSccConfig::default();
+        let (_, report) = dfs_scc(&env, &g, &cfg).unwrap();
+        assert!(
+            report.total_ios.random_ios() * 2 > report.total_ios.total_ios(),
+            "external DFS should be random-I/O bound: {}",
+            report.total_ios
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: both external-DFS variants equal in-memory Tarjan, the
+//! first pass produces a true postorder-compatible labeling, and the
+//! disk-backed stack behaves like `Vec` under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use ce_dfs_scc::stack::{DiskStack, Frame};
+use ce_dfs_scc::{dfs_scc, DfsMode, DfsSccConfig};
+use ce_extmem::{DiskEnv, IoConfig};
+use ce_graph::csr::CsrGraph;
+use ce_graph::labels::same_partition;
+use ce_graph::tarjan::tarjan_scc;
+use ce_graph::EdgeListGraph;
+
+fn tiny_env() -> DiskEnv {
+    DiskEnv::new_temp(IoConfig::new(256, 4096)).unwrap()
+}
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (1u32..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..120);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn both_modes_match_tarjan((n, edge_list) in arb_graph()) {
+        let env = tiny_env();
+        let g = EdgeListGraph::from_slice(&env, n as u64, &edge_list).unwrap();
+        let edges = g.edges_in_memory().unwrap();
+        let truth = tarjan_scc(&CsrGraph::from_edges(n as u64, &edges));
+        for mode in [DfsMode::Naive, DfsMode::Brt] {
+            let cfg = DfsSccConfig { mode, ..Default::default() };
+            let (labels, report) = dfs_scc(&env, &g, &cfg).unwrap();
+            let all = labels.read_all().unwrap();
+            prop_assert_eq!(all.len() as u64, n as u64);
+            let mut rep = vec![0u32; n as usize];
+            for l in &all {
+                rep[l.node as usize] = l.scc;
+            }
+            prop_assert!(
+                same_partition(&rep, &truth.comp),
+                "{:?} on {:?}", mode, edge_list
+            );
+            prop_assert_eq!(report.n_sccs, truth.count as u64);
+        }
+    }
+
+    #[test]
+    fn disk_stack_behaves_like_vec(
+        ops in prop::collection::vec(prop::option::of((any::<u32>(), any::<u64>())), 1..400),
+        window in 4usize..32,
+    ) {
+        let env = tiny_env();
+        let mut stack = DiskStack::new(&env, window).unwrap();
+        let mut model: Vec<Frame> = Vec::new();
+        for op in ops {
+            match op {
+                Some((node, cursor)) => {
+                    let f = Frame { node, cursor };
+                    stack.push(f).unwrap();
+                    model.push(f);
+                }
+                None => {
+                    prop_assert_eq!(stack.pop().unwrap(), model.pop());
+                }
+            }
+            prop_assert_eq!(stack.len(), model.len() as u64);
+        }
+        while let Some(want) = model.pop() {
+            prop_assert_eq!(stack.pop().unwrap(), Some(want));
+        }
+        prop_assert!(stack.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Disk environment: owns a scratch directory, the shared I/O counters, and
+//! the fault-injection hook.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::{fs, io};
+
+use crate::config::IoConfig;
+use crate::record::Record;
+use crate::stats::IoStats;
+use crate::stream::RecordWriter;
+
+/// A handle to a scratch directory in which all external files of one
+/// computation live.
+///
+/// * cheap to clone (`Arc` inside); every [`crate::ExtFile`] holds a clone so
+///   the directory outlives all files created in it;
+/// * all I/O through files created here is counted in one [`IoStats`];
+/// * supports deterministic fault injection ("fail the N-th block transfer
+///   from now") so tests can verify that every algorithm surfaces I/O errors
+///   instead of panicking or producing truncated results.
+#[derive(Clone)]
+pub struct DiskEnv {
+    inner: Arc<EnvInner>,
+}
+
+struct EnvInner {
+    root: PathBuf,
+    cfg: IoConfig,
+    stats: Arc<IoStats>,
+    next_id: AtomicU64,
+    owns_dir: bool,
+    /// Remaining block I/Os until an injected failure; negative = disabled.
+    fault_countdown: AtomicI64,
+}
+
+impl DiskEnv {
+    /// Creates a fresh scratch directory under the system temp dir.
+    ///
+    /// The directory (and everything in it) is removed when the last clone of
+    /// this environment is dropped.
+    pub fn new_temp(cfg: IoConfig) -> io::Result<DiskEnv> {
+        let mut base = std::env::temp_dir();
+        let unique = format!(
+            "ce-scc-{}-{:x}",
+            std::process::id(),
+            fresh_dir_nonce(),
+        );
+        base.push(unique);
+        fs::create_dir_all(&base)?;
+        Ok(DiskEnv {
+            inner: Arc::new(EnvInner {
+                root: base,
+                cfg,
+                stats: Arc::new(IoStats::new()),
+                next_id: AtomicU64::new(0),
+                owns_dir: true,
+                fault_countdown: AtomicI64::new(-1),
+            }),
+        })
+    }
+
+    /// Uses an existing directory as scratch space. The directory is *not*
+    /// removed on drop; individual scratch files still are.
+    pub fn new_in(dir: &Path, cfg: IoConfig) -> io::Result<DiskEnv> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskEnv {
+            inner: Arc::new(EnvInner {
+                root: dir.to_path_buf(),
+                cfg,
+                stats: Arc::new(IoStats::new()),
+                next_id: AtomicU64::new(0),
+                owns_dir: false,
+                fault_countdown: AtomicI64::new(-1),
+            }),
+        })
+    }
+
+    /// The I/O-model parameters this environment enforces.
+    pub fn config(&self) -> IoConfig {
+        self.inner.cfg
+    }
+
+    /// Shared I/O counters for everything created in this environment.
+    pub fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
+
+    /// Root directory of the scratch space.
+    pub fn root(&self) -> &Path {
+        &self.inner.root
+    }
+
+    /// Allocates a unique file path with a human-readable label (for
+    /// debuggability of leftover scratch space).
+    pub(crate) fn fresh_path(&self, label: &str) -> PathBuf {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let safe: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .take(48)
+            .collect();
+        self.inner.root.join(format!("{id:06}-{safe}.bin"))
+    }
+
+    /// Opens a typed record writer on a fresh scratch file.
+    pub fn writer<T: Record>(&self, label: &str) -> io::Result<RecordWriter<T>> {
+        RecordWriter::create(self.clone(), label)
+    }
+
+    /// Builds an [`crate::ExtFile`] directly from an in-memory slice.
+    /// Convenient in tests and for small metadata files.
+    pub fn file_from_slice<T: Record>(
+        &self,
+        label: &str,
+        items: &[T],
+    ) -> io::Result<crate::ExtFile<T>> {
+        let mut w = self.writer(label)?;
+        for item in items {
+            w.push(*item)?;
+        }
+        w.finish()
+    }
+
+    /// Arranges for the `n`-th block transfer from now (1-based) to fail with
+    /// an injected [`io::Error`]. All subsequent transfers fail too until
+    /// [`DiskEnv::clear_fault`] is called.
+    pub fn inject_fault_after(&self, n: u64) {
+        self.inner
+            .fault_countdown
+            .store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Disables fault injection.
+    pub fn clear_fault(&self) {
+        self.inner.fault_countdown.store(-1, Ordering::SeqCst);
+    }
+
+    /// Called by the counted-file layer before every block transfer.
+    pub(crate) fn check_fault(&self) -> io::Result<()> {
+        let prev = self.inner.fault_countdown.load(Ordering::Relaxed);
+        if prev < 0 {
+            return Ok(());
+        }
+        let now = self.inner.fault_countdown.fetch_sub(1, Ordering::SeqCst);
+        if now <= 1 {
+            return Err(io::Error::other("injected I/O fault"));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DiskEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskEnv")
+            .field("root", &self.inner.root)
+            .field("cfg", &self.inner.cfg)
+            .finish()
+    }
+}
+
+impl Drop for EnvInner {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+fn fresh_dir_nonce() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_env_creates_and_removes_dir() {
+        let path;
+        {
+            let env = DiskEnv::new_temp(IoConfig::small_for_tests()).unwrap();
+            path = env.root().to_path_buf();
+            assert!(path.is_dir());
+        }
+        assert!(!path.exists(), "scratch dir should be removed on drop");
+    }
+
+    #[test]
+    fn fresh_paths_are_unique_and_sanitized() {
+        let env = DiskEnv::new_temp(IoConfig::small_for_tests()).unwrap();
+        let a = env.fresh_path("edges/by src");
+        let b = env.fresh_path("edges/by src");
+        assert_ne!(a, b);
+        assert!(!a.file_name().unwrap().to_str().unwrap().contains('/'));
+    }
+
+    #[test]
+    fn fault_injection_counts_down() {
+        let env = DiskEnv::new_temp(IoConfig::small_for_tests()).unwrap();
+        env.inject_fault_after(3);
+        assert!(env.check_fault().is_ok());
+        assert!(env.check_fault().is_ok());
+        assert!(env.check_fault().is_err());
+        assert!(env.check_fault().is_err(), "stays failed");
+        env.clear_fault();
+        assert!(env.check_fault().is_ok());
+    }
+}

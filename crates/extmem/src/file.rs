@@ -1,0 +1,180 @@
+//! Counted block-granular file access.
+//!
+//! [`CountedFile`] is the only place in the workspace that touches
+//! `std::fs::File` for data. Every read/write is accounted in the
+//! environment's [`crate::stats::IoStats`] as `ceil(len / B)` block transfers
+//! and classified as sequential (continuing exactly where the previous access
+//! of the same kind on this handle ended) or random.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use crate::env::DiskEnv;
+
+/// A file whose block transfers are counted and classified.
+pub struct CountedFile {
+    file: File,
+    env: DiskEnv,
+    block: u64,
+    last_read_end: u64,
+    last_write_end: u64,
+}
+
+impl CountedFile {
+    /// Creates (truncating) a file for writing and reading.
+    pub fn create(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self::wrap(env, file))
+    }
+
+    /// Opens an existing file read-only.
+    pub fn open_read(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        Ok(Self::wrap(env, file))
+    }
+
+    /// Opens an existing file for reading and writing without truncation.
+    pub fn open_rw(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Self::wrap(env, file))
+    }
+
+    fn wrap(env: &DiskEnv, file: File) -> CountedFile {
+        CountedFile {
+            file,
+            env: env.clone(),
+            block: env.config().block_size as u64,
+            last_read_end: u64::MAX, // first access counts as random
+            last_write_end: 0,       // writes usually start at 0: treat as sequential
+        }
+    }
+
+    fn blocks(&self, len: usize) -> u64 {
+        (len as u64).div_ceil(self.block)
+    }
+
+    /// Reads exactly `buf.len()` bytes at `offset` unless EOF truncates the
+    /// read; returns the number of bytes read.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.env.check_fault()?;
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self.file.read_at(&mut buf[done..], offset + done as u64)?;
+            if n == 0 {
+                break;
+            }
+            done += n;
+        }
+        let sequential = offset == self.last_read_end;
+        self.last_read_end = offset + done as u64;
+        self.env
+            .stats()
+            .record_read(self.blocks(done.max(1)), done as u64, sequential);
+        Ok(done)
+    }
+
+    /// Writes all of `buf` at `offset`.
+    pub fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.env.check_fault()?;
+        self.file.write_all_at(buf, offset)?;
+        let sequential = offset == self.last_write_end;
+        self.last_write_end = offset + buf.len() as u64;
+        self.env
+            .stats()
+            .record_write(self.blocks(buf.len()), buf.len() as u64, sequential);
+        Ok(())
+    }
+
+    /// Current length of the file in bytes.
+    pub fn len_bytes(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IoConfig;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap()
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let env = env();
+        let path = env.fresh_path("t");
+        let mut f = CountedFile::create(&env, &path).unwrap();
+        f.write_at(0, b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        let n = f.read_at(0, &mut buf).unwrap();
+        assert_eq!(n, 11);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let env = env();
+        let path = env.fresh_path("t");
+        let mut f = CountedFile::create(&env, &path).unwrap();
+        let block = vec![7u8; 64];
+        f.write_at(0, &block).unwrap(); // seq (starts at 0)
+        f.write_at(64, &block).unwrap(); // seq
+        f.write_at(0, &block).unwrap(); // random (rewind)
+        let snap = env.stats().snapshot();
+        assert_eq!(snap.seq_writes, 2);
+        assert_eq!(snap.rand_writes, 1);
+
+        let mut buf = vec![0u8; 64];
+        f.read_at(0, &mut buf).unwrap(); // first read: random by convention
+        f.read_at(64, &mut buf).unwrap(); // seq
+        f.read_at(0, &mut buf).unwrap(); // random
+        let snap = env.stats().snapshot();
+        assert_eq!(snap.seq_reads, 1);
+        assert_eq!(snap.rand_reads, 2);
+    }
+
+    #[test]
+    fn multi_block_transfers_count_all_blocks() {
+        let env = env(); // block = 64
+        let path = env.fresh_path("t");
+        let mut f = CountedFile::create(&env, &path).unwrap();
+        f.write_at(0, &[1u8; 200]).unwrap(); // ceil(200/64) = 4 blocks
+        assert_eq!(env.stats().snapshot().seq_writes, 4);
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let env = env();
+        let path = env.fresh_path("t");
+        let mut f = CountedFile::create(&env, &path).unwrap();
+        f.write_at(0, b"abc").unwrap();
+        let mut buf = [0u8; 10];
+        let n = f.read_at(0, &mut buf).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_error() {
+        let env = env();
+        let path = env.fresh_path("t");
+        let mut f = CountedFile::create(&env, &path).unwrap();
+        env.inject_fault_after(1);
+        let err = f.write_at(0, b"boom").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        env.clear_fault();
+    }
+}

@@ -1,0 +1,441 @@
+//! Merge-join operators over sorted record streams.
+//!
+//! The paper writes Algorithms 3 (Get-V), 4 (Get-E) and 5 (Expansion) as
+//! compositions of external sorts and `✶` joins performed by *single
+//! sequential scans* of their sorted inputs. These helpers are those joins:
+//!
+//! * [`semi_join`] — keep records of `A` whose key occurs in `B`
+//!   (e.g. "edges whose destination is in the vertex cover `V_{i+1}`");
+//! * [`anti_join`] — keep records of `A` whose key does **not** occur in `B`
+//!   (e.g. "edges pointing at removed nodes `V_i − V_{i+1}`");
+//! * [`lookup_join`] — inner join that augments each `A` record with the
+//!   payload of the matching `B` record (e.g. "attach `deg(u)` to edge
+//!   `(u,v)`", Algorithm 3 lines 5–7);
+//! * [`merge_union`] — merge two sorted files into one sorted file
+//!   (e.g. `SCC_i = SCC_{i+1} ∪ SCC_del`, Algorithm 5 line 5);
+//! * [`GroupCursor`] — iterate a sorted file group-by-group (e.g. "all
+//!   in-neighbour SCC labels of removed node `v`", Algorithm 5 line 4).
+//!
+//! Every operator consumes `scan(|A|) + scan(|B|)` I/Os and no memory beyond
+//! a constant number of blocks, matching the costs the paper charges.
+
+use std::io;
+
+use crate::env::DiskEnv;
+use crate::record::Record;
+use crate::stream::{ExtFile, PeekReader};
+
+/// Keeps records of `a` whose key appears in `b`.
+///
+/// `a` must be sorted by `ka`, `b` by `kb`; duplicates are allowed in both.
+pub fn semi_join<A, B, K, FA, FB>(
+    env: &DiskEnv,
+    label: &str,
+    a: &ExtFile<A>,
+    ka: FA,
+    b: &ExtFile<B>,
+    kb: FB,
+) -> io::Result<ExtFile<A>>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    filter_join(env, label, a, ka, b, kb, true)
+}
+
+/// Keeps records of `a` whose key does **not** appear in `b`.
+pub fn anti_join<A, B, K, FA, FB>(
+    env: &DiskEnv,
+    label: &str,
+    a: &ExtFile<A>,
+    ka: FA,
+    b: &ExtFile<B>,
+    kb: FB,
+) -> io::Result<ExtFile<A>>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    filter_join(env, label, a, ka, b, kb, false)
+}
+
+fn filter_join<A, B, K, FA, FB>(
+    env: &DiskEnv,
+    label: &str,
+    a: &ExtFile<A>,
+    ka: FA,
+    b: &ExtFile<B>,
+    kb: FB,
+    keep_matching: bool,
+) -> io::Result<ExtFile<A>>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    let mut ra = a.peek_reader()?;
+    let mut rb = b.peek_reader()?;
+    let mut w = env.writer::<A>(label)?;
+    while let Some(av) = ra.next()? {
+        let k = ka(&av);
+        // Advance b past keys smaller than k.
+        while let Some(bv) = rb.peek()? {
+            if kb(bv) < k {
+                rb.next()?;
+            } else {
+                break;
+            }
+        }
+        let matched = match rb.peek()? {
+            Some(bv) => kb(bv) == k,
+            None => false,
+        };
+        if matched == keep_matching {
+            w.push(av)?;
+        }
+    }
+    w.finish()
+}
+
+/// Inner join: for each record of `a` whose key matches a record of `b`,
+/// emits `f(a_record, b_record)`. Records of `a` without a match are dropped.
+///
+/// `a` must be sorted by `ka` (duplicates allowed); `b` must be sorted by
+/// `kb` with **unique** keys (a lookup table, e.g. the degree table `Vd` or
+/// the label table `SCC_{i+1}`).
+pub fn lookup_join<A, B, K, Out, FA, FB, F>(
+    env: &DiskEnv,
+    label: &str,
+    a: &ExtFile<A>,
+    ka: FA,
+    b: &ExtFile<B>,
+    kb: FB,
+    mut f: F,
+) -> io::Result<ExtFile<Out>>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, B) -> Out,
+{
+    let mut ra = a.peek_reader()?;
+    let mut rb = b.peek_reader()?;
+    let mut current: Option<B> = None;
+    let mut w = env.writer::<Out>(label)?;
+    while let Some(av) = ra.next()? {
+        let k = ka(&av);
+        // Advance the lookup side until its key >= k, remembering the match.
+        loop {
+            match current {
+                Some(bv) if kb(&bv) >= k => break,
+                _ => {}
+            }
+            match rb.peek()? {
+                Some(bv) if kb(bv) <= k => {
+                    current = rb.next()?;
+                }
+                _ => break,
+            }
+        }
+        if let Some(bv) = current {
+            if kb(&bv) == k {
+                w.push(f(av, bv))?;
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Left outer join: for each record of `a`, emits `f(a_record, match)` where
+/// `match` is `Some(b_record)` if `b` (sorted, unique keys) has the key and
+/// `None` otherwise. Used by the EM-SCC baseline to rewrite edges through a
+/// partial contraction map (unmapped nodes keep their identity).
+pub fn left_lookup_join<A, B, K, Out, FA, FB, F>(
+    env: &DiskEnv,
+    label: &str,
+    a: &ExtFile<A>,
+    ka: FA,
+    b: &ExtFile<B>,
+    kb: FB,
+    mut f: F,
+) -> io::Result<ExtFile<Out>>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, Option<B>) -> Out,
+{
+    let mut ra = a.peek_reader()?;
+    let mut rb = b.peek_reader()?;
+    let mut current: Option<B> = None;
+    let mut w = env.writer::<Out>(label)?;
+    while let Some(av) = ra.next()? {
+        let k = ka(&av);
+        loop {
+            match current {
+                Some(bv) if kb(&bv) >= k => break,
+                _ => {}
+            }
+            match rb.peek()? {
+                Some(bv) if kb(bv) <= k => {
+                    current = rb.next()?;
+                }
+                _ => break,
+            }
+        }
+        let matched = current.filter(|bv| kb(bv) == k);
+        w.push(f(av, matched))?;
+    }
+    w.finish()
+}
+
+/// Merges two sorted files into one sorted file (duplicates preserved).
+pub fn merge_union<T, K, F>(
+    env: &DiskEnv,
+    label: &str,
+    a: &ExtFile<T>,
+    b: &ExtFile<T>,
+    key: F,
+) -> io::Result<ExtFile<T>>
+where
+    T: Record,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let mut ra = a.peek_reader()?;
+    let mut rb = b.peek_reader()?;
+    let mut w = env.writer::<T>(label)?;
+    loop {
+        let take_a = match (ra.peek()?, rb.peek()?) {
+            (Some(x), Some(y)) => key(x) <= key(y),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let v = if take_a { ra.next()? } else { rb.next()? };
+        w.push(v.expect("peeked side must produce a record"))?;
+    }
+    w.finish()
+}
+
+/// Concatenates files in order (no sorting).
+pub fn concat<T: Record>(env: &DiskEnv, label: &str, parts: &[&ExtFile<T>]) -> io::Result<ExtFile<T>> {
+    let mut w = env.writer::<T>(label)?;
+    for p in parts {
+        let mut r = p.reader()?;
+        while let Some(v) = r.next()? {
+            w.push(v)?;
+        }
+    }
+    w.finish()
+}
+
+/// Cursor yielding one *group* (maximal run of equal keys) at a time from a
+/// sorted stream, reusing a caller buffer to avoid per-group allocation.
+pub struct GroupCursor<T: Record, K, F: Fn(&T) -> K> {
+    reader: PeekReader<T>,
+    key: F,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<T, K, F> GroupCursor<T, K, F>
+where
+    T: Record,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    /// Opens a cursor over `file`, which must be sorted by `key`.
+    pub fn new(file: &ExtFile<T>, key: F) -> io::Result<Self> {
+        Ok(GroupCursor {
+            reader: file.peek_reader()?,
+            key,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Reads the next group into `buf` (cleared first); returns its key, or
+    /// `None` at end of stream.
+    pub fn next_group(&mut self, buf: &mut Vec<T>) -> io::Result<Option<K>> {
+        buf.clear();
+        let first = match self.reader.next()? {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+        let k = (self.key)(&first);
+        buf.push(first);
+        while let Some(v) = self.reader.peek()? {
+            if (self.key)(v) == k {
+                buf.push(self.reader.next()?.expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        Ok(Some(k))
+    }
+
+    /// Peeks the key of the next group without consuming it.
+    pub fn peek_key(&mut self) -> io::Result<Option<K>> {
+        Ok(self.reader.peek()?.map(|v| (self.key)(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IoConfig;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap()
+    }
+
+    #[test]
+    fn semi_join_keeps_matches_only() {
+        let env = env();
+        let a = env
+            .file_from_slice("a", &[(1u32, 10u32), (2, 20), (2, 21), (5, 50), (9, 90)])
+            .unwrap();
+        let b = env.file_from_slice("b", &[2u32, 2, 3, 9]).unwrap();
+        let out = semi_join(&env, "o", &a, |r| r.0, &b, |&k| k).unwrap();
+        assert_eq!(out.read_all().unwrap(), vec![(2, 20), (2, 21), (9, 90)]);
+    }
+
+    #[test]
+    fn anti_join_keeps_non_matches() {
+        let env = env();
+        let a = env
+            .file_from_slice("a", &[(1u32, 10u32), (2, 20), (5, 50), (9, 90)])
+            .unwrap();
+        let b = env.file_from_slice("b", &[2u32, 9]).unwrap();
+        let out = anti_join(&env, "o", &a, |r| r.0, &b, |&k| k).unwrap();
+        assert_eq!(out.read_all().unwrap(), vec![(1, 10), (5, 50)]);
+    }
+
+    #[test]
+    fn joins_with_empty_sides() {
+        let env = env();
+        let a = env.file_from_slice("a", &[(1u32, 1u32)]).unwrap();
+        let e = ExtFile::<u32>::empty(&env, "e").unwrap();
+        assert_eq!(
+            semi_join(&env, "s", &a, |r| r.0, &e, |&k| k)
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            anti_join(&env, "t", &a, |r| r.0, &e, |&k| k)
+                .unwrap()
+                .read_all()
+                .unwrap(),
+            vec![(1, 1)]
+        );
+    }
+
+    #[test]
+    fn lookup_join_augments() {
+        let env = env();
+        // Edges sorted by src; degree table keyed by node.
+        let edges = env
+            .file_from_slice("e", &[(1u32, 5u32), (1, 7), (3, 1), (4, 2)])
+            .unwrap();
+        let degs = env
+            .file_from_slice("d", &[(1u32, 100u32), (2, 200), (3, 300), (4, 400)])
+            .unwrap();
+        let out: ExtFile<(u32, u32, u32)> = lookup_join(
+            &env,
+            "o",
+            &edges,
+            |e| e.0,
+            &degs,
+            |d| d.0,
+            |e, d| (e.0, d.1, e.1),
+        )
+        .unwrap();
+        assert_eq!(
+            out.read_all().unwrap(),
+            vec![(1, 100, 5), (1, 100, 7), (3, 300, 1), (4, 400, 2)]
+        );
+    }
+
+    #[test]
+    fn lookup_join_drops_unmatched() {
+        let env = env();
+        let a = env.file_from_slice("a", &[(1u32, 0u32), (2, 0), (3, 0)]).unwrap();
+        let b = env.file_from_slice("b", &[(2u32, 9u32)]).unwrap();
+        let out: ExtFile<(u32, u32)> =
+            lookup_join(&env, "o", &a, |r| r.0, &b, |r| r.0, |a, b| (a.0, b.1)).unwrap();
+        assert_eq!(out.read_all().unwrap(), vec![(2, 9)]);
+    }
+
+    #[test]
+    fn left_lookup_join_keeps_unmatched() {
+        let env = env();
+        let a = env.file_from_slice("a", &[1u32, 2, 3, 4]).unwrap();
+        let b = env.file_from_slice("b", &[(2u32, 20u32), (4, 40)]).unwrap();
+        let out: ExtFile<(u32, u32)> = left_lookup_join(
+            &env,
+            "o",
+            &a,
+            |&k| k,
+            &b,
+            |r| r.0,
+            |k, m| (k, m.map_or(k, |r| r.1)),
+        )
+        .unwrap();
+        assert_eq!(
+            out.read_all().unwrap(),
+            vec![(1, 1), (2, 20), (3, 3), (4, 40)]
+        );
+    }
+
+    #[test]
+    fn merge_union_interleaves() {
+        let env = env();
+        let a = env.file_from_slice("a", &[1u32, 4, 6]).unwrap();
+        let b = env.file_from_slice("b", &[2u32, 4, 9]).unwrap();
+        let out = merge_union(&env, "o", &a, &b, |&k| k).unwrap();
+        assert_eq!(out.read_all().unwrap(), vec![1, 2, 4, 4, 6, 9]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let env = env();
+        let a = env.file_from_slice("a", &[1u32, 2]).unwrap();
+        let b = env.file_from_slice("b", &[3u32]).unwrap();
+        let out = concat(&env, "o", &[&a, &b]).unwrap();
+        assert_eq!(out.read_all().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn group_cursor_walks_groups() {
+        let env = env();
+        let f = env
+            .file_from_slice(
+                "g",
+                &[(1u32, 1u32), (1, 2), (3, 3), (3, 4), (3, 5), (7, 6)],
+            )
+            .unwrap();
+        let mut cur = GroupCursor::new(&f, |r: &(u32, u32)| r.0).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(cur.next_group(&mut buf).unwrap(), Some(1));
+        assert_eq!(buf, vec![(1, 1), (1, 2)]);
+        assert_eq!(cur.peek_key().unwrap(), Some(3));
+        assert_eq!(cur.next_group(&mut buf).unwrap(), Some(3));
+        assert_eq!(buf.len(), 3);
+        assert_eq!(cur.next_group(&mut buf).unwrap(), Some(7));
+        assert_eq!(cur.next_group(&mut buf).unwrap(), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! External-memory substrate for the Contract & Expand SCC library.
+//!
+//! This crate implements the standard I/O model of Aggarwal & Vitter, which the
+//! paper ("Contract & Expand: I/O Efficient SCCs Computing", ICDE 2014) assumes
+//! throughout:
+//!
+//! * a main memory of `M` bytes and a disk accessed in blocks of `B` bytes,
+//!   with `2·B ≤ M < ‖G‖` ([`IoConfig`]);
+//! * `scan(m) = Θ(m/B)` sequential block transfers ([`stream`]);
+//! * `sort(m) = Θ((m/B)·log_{M/B}(m/B))` via external merge sort ([`sort`]);
+//! * every block transfer is *counted* and classified as sequential or random
+//!   ([`stats::IoStats`]), which is how the reproduction regenerates the
+//!   "Number of I/Os" axis of the paper's Figures 6–9.
+//!
+//! On top of the raw model the crate provides the relational plumbing the
+//! paper's Algorithms 3–5 are written in: typed record files ([`ExtFile`]),
+//! block-buffered readers/writers, merge/semi/anti/lookup joins over sorted
+//! streams ([`join`]), and a buffered repository tree ([`brt`]) used by the
+//! external-DFS baseline.
+//!
+//! All scratch files live inside a [`DiskEnv`], are deleted on drop, and share
+//! one [`stats::IoStats`] counter so experiments can report exact I/O numbers
+//! per phase.
+
+pub mod brt;
+pub mod config;
+pub mod env;
+pub mod file;
+pub mod join;
+pub mod record;
+pub mod sort;
+pub mod stats;
+pub mod stream;
+
+pub use config::IoConfig;
+pub use env::DiskEnv;
+pub use join::{anti_join, concat, left_lookup_join, lookup_join, merge_union, semi_join, GroupCursor};
+pub use record::Record;
+pub use sort::{dedup_sorted, is_sorted_by_key, sort_by_key, sort_dedup_by_key};
+pub use stats::{IoSnapshot, IoStats};
+pub use stream::{ExtFile, PeekReader, RecordReader, RecordWriter};

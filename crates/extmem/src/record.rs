@@ -1,0 +1,116 @@
+//! Fixed-size binary record codec.
+//!
+//! Everything that lives in an external file — edges, node ids, degree tables,
+//! SCC labels — is a small fixed-size record. Fixed size keeps every stream
+//! block-aligned and lets the external sort compute run lengths exactly from
+//! the memory budget.
+
+/// A plain-old-data value with a fixed-size little-endian encoding.
+pub trait Record: Copy + Send + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Writes the value into `buf` (`buf.len() == Self::SIZE`).
+    fn encode(&self, buf: &mut [u8]);
+
+    /// Reads a value from `buf` (`buf.len() == Self::SIZE`).
+    fn decode(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_record_int {
+    ($($t:ty),*) => {$(
+        impl Record for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn encode(&self, buf: &mut [u8]) {
+                buf.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn decode(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf.try_into().expect("record size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_record_int!(u8, u16, u32, u64, i32, i64);
+
+macro_rules! impl_record_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Record),+> Record for ($($name,)+) {
+            const SIZE: usize = 0 $(+ $name::SIZE)+;
+            #[inline]
+            fn encode(&self, buf: &mut [u8]) {
+                let mut at = 0;
+                $(
+                    self.$idx.encode(&mut buf[at..at + $name::SIZE]);
+                    #[allow(unused_assignments)]
+                    { at += $name::SIZE; }
+                )+
+            }
+            #[inline]
+            fn decode(buf: &[u8]) -> Self {
+                let mut at = 0;
+                ($(
+                    {
+                        let v = $name::decode(&buf[at..at + $name::SIZE]);
+                        #[allow(unused_assignments)]
+                        { at += $name::SIZE; }
+                        v
+                    },
+                )+)
+            }
+        }
+    };
+}
+
+impl_record_tuple!(A: 0);
+impl_record_tuple!(A: 0, B: 1);
+impl_record_tuple!(A: 0, B: 1, C: 2);
+impl_record_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_record_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_record_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Record + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.encode(&mut buf);
+        assert_eq!(T::decode(&buf), v);
+    }
+
+    #[test]
+    fn ints_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX - 1);
+        roundtrip(-123456789i64);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((7u32,));
+        roundtrip((1u32, 2u32));
+        roundtrip((1u32, 2u64, 3u32));
+        roundtrip((u32::MAX, 0u32, u64::MAX, 9u32));
+        roundtrip((1u32, 2u32, 3u32, 4u32, 5u64, 6u32));
+    }
+
+    #[test]
+    fn tuple_sizes_are_sums() {
+        assert_eq!(<(u32, u32)>::SIZE, 8);
+        assert_eq!(<(u32, u64, u32)>::SIZE, 16);
+        assert_eq!(<(u32, u32, u32, u32)>::SIZE, 16);
+    }
+
+    #[test]
+    fn encoding_is_little_endian_and_packed() {
+        let mut buf = [0u8; 8];
+        (0x0102_0304u32, 0x0506_0708u32).encode(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1, 8, 7, 6, 5]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests of the external-memory substrate: the sort/join/stream
+//! operators must agree with their in-memory models under tiny blocks (so
+//! every path crosses many block boundaries).
+
+use proptest::prelude::*;
+
+use ce_extmem::{
+    anti_join, dedup_sorted, is_sorted_by_key, left_lookup_join, lookup_join, merge_union,
+    semi_join, sort_by_key, sort_dedup_by_key, DiskEnv, IoConfig,
+};
+
+fn tiny_env() -> DiskEnv {
+    DiskEnv::new_temp(IoConfig::new(128, 1024)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stream_roundtrip(items in prop::collection::vec(any::<(u32, u64)>(), 0..500)) {
+        let env = tiny_env();
+        let f = env.file_from_slice("t", &items).unwrap();
+        prop_assert_eq!(f.len(), items.len() as u64);
+        prop_assert_eq!(f.read_all().unwrap(), items);
+    }
+
+    #[test]
+    fn external_sort_equals_std_sort(items in prop::collection::vec(any::<u32>(), 0..600)) {
+        let env = tiny_env();
+        let f = env.file_from_slice("t", &items).unwrap();
+        let sorted = sort_by_key(&env, &f, "s", |&x| x).unwrap();
+        prop_assert!(is_sorted_by_key(&sorted, |&x| x).unwrap());
+        let mut want = items.clone();
+        want.sort_unstable();
+        prop_assert_eq!(sorted.read_all().unwrap(), want);
+    }
+
+    #[test]
+    fn sort_dedup_equals_btree_set(items in prop::collection::vec(0u32..64, 0..600)) {
+        let env = tiny_env();
+        let f = env.file_from_slice("t", &items).unwrap();
+        let got = sort_dedup_by_key(&env, &f, "s", |&x| x).unwrap().read_all().unwrap();
+        let want: Vec<u32> = items.iter().copied().collect::<std::collections::BTreeSet<_>>()
+            .into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn joins_agree_with_set_semantics(
+        mut a in prop::collection::vec((0u32..48, any::<u32>()), 0..200),
+        mut b in prop::collection::vec(0u32..48, 0..100),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let env = tiny_env();
+        let fa = env.file_from_slice("a", &a).unwrap();
+        let fb = env.file_from_slice("b", &b).unwrap();
+        let keys: std::collections::HashSet<u32> = b.iter().copied().collect();
+
+        let semi = semi_join(&env, "s", &fa, |r| r.0, &fb, |&k| k).unwrap().read_all().unwrap();
+        let want_semi: Vec<(u32, u32)> = a.iter().copied().filter(|r| keys.contains(&r.0)).collect();
+        prop_assert_eq!(semi, want_semi);
+
+        let anti = anti_join(&env, "t", &fa, |r| r.0, &fb, |&k| k).unwrap().read_all().unwrap();
+        let want_anti: Vec<(u32, u32)> = a.iter().copied().filter(|r| !keys.contains(&r.0)).collect();
+        prop_assert_eq!(anti, want_anti);
+    }
+
+    #[test]
+    fn lookup_joins_agree_with_map_semantics(
+        mut a in prop::collection::vec(0u32..48, 0..200),
+        table in prop::collection::btree_map(0u32..48, any::<u32>(), 0..40),
+    ) {
+        a.sort_unstable();
+        let env = tiny_env();
+        let fa = env.file_from_slice("a", &a).unwrap();
+        let tb: Vec<(u32, u32)> = table.iter().map(|(&k, &v)| (k, v)).collect();
+        let fb = env.file_from_slice("b", &tb).unwrap();
+
+        let inner: Vec<(u32, u32)> = lookup_join(
+            &env, "i", &fa, |&k| k, &fb, |r| r.0, |k, r| (k, r.1),
+        ).unwrap().read_all().unwrap();
+        let want_inner: Vec<(u32, u32)> = a.iter()
+            .filter_map(|k| table.get(k).map(|&v| (*k, v)))
+            .collect();
+        prop_assert_eq!(inner, want_inner);
+
+        let left: Vec<(u32, u32)> = left_lookup_join(
+            &env, "l", &fa, |&k| k, &fb, |r| r.0, |k, m| (k, m.map_or(u32::MAX, |r| r.1)),
+        ).unwrap().read_all().unwrap();
+        let want_left: Vec<(u32, u32)> = a.iter()
+            .map(|k| (*k, table.get(k).copied().unwrap_or(u32::MAX)))
+            .collect();
+        prop_assert_eq!(left, want_left);
+    }
+
+    #[test]
+    fn merge_union_is_sorted_multiset_union(
+        mut a in prop::collection::vec(any::<u32>(), 0..200),
+        mut b in prop::collection::vec(any::<u32>(), 0..200),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let env = tiny_env();
+        let fa = env.file_from_slice("a", &a).unwrap();
+        let fb = env.file_from_slice("b", &b).unwrap();
+        let got = merge_union(&env, "m", &fa, &fb, |&k| k).unwrap().read_all().unwrap();
+        let mut want = a.clone();
+        want.extend_from_slice(&b);
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dedup_sorted_model(mut items in prop::collection::vec(0u32..32, 0..300)) {
+        items.sort_unstable();
+        let env = tiny_env();
+        let f = env.file_from_slice("a", &items).unwrap();
+        let got = dedup_sorted(&env, &f, "d", |&k| k).unwrap().read_all().unwrap();
+        let mut want = items.clone();
+        want.dedup();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,141 @@
+//! In-memory compressed-sparse-row adjacency.
+//!
+//! Used by the in-memory SCC kernels ([`crate::tarjan`], [`crate::kosaraju`]),
+//! by the partition step of the EM-SCC baseline, and by tests that verify
+//! external results against ground truth. External algorithms never build one
+//! of these for the full graph — that would violate the memory model.
+
+use crate::types::{Edge, NodeId};
+
+/// Compressed-sparse-row directed graph over nodes `0..n`.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR from an edge slice via counting sort — `O(|V| + |E|)`.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is `>= n_nodes`.
+    pub fn from_edges(n_nodes: u64, edges: &[Edge]) -> CsrGraph {
+        let n = usize::try_from(n_nodes).expect("node count fits usize");
+        let mut counts = vec![0u64; n + 1];
+        for e in edges {
+            assert!(
+                (e.src as u64) < n_nodes && (e.dst as u64) < n_nodes,
+                "edge ({}, {}) out of range (n = {})",
+                e.src,
+                e.dst,
+                n_nodes
+            );
+            counts[e.src as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for e in edges {
+            let at = cursor[e.src as usize];
+            targets[at as usize] = e.dst;
+            cursor[e.src as usize] += 1;
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Builds the CSR of the reversed graph without materializing reversed
+    /// edges.
+    pub fn reversed_from_edges(n_nodes: u64, edges: &[Edge]) -> CsrGraph {
+        let n = usize::try_from(n_nodes).expect("node count fits usize");
+        let mut counts = vec![0u64; n + 1];
+        for e in edges {
+            counts[e.dst as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for e in edges {
+            let at = cursor[e.dst as usize];
+            targets[at as usize] = e.src;
+            cursor[e.dst as usize] += 1;
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(list: &[(u32, u32)]) -> Vec<Edge> {
+        list.iter().map(|&(u, v)| Edge::new(u, v)).collect()
+    }
+
+    #[test]
+    fn builds_adjacency() {
+        let g = CsrGraph::from_edges(4, &edges(&[(0, 1), (0, 2), (2, 3), (3, 0)]));
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn reversed_adjacency() {
+        let g = CsrGraph::reversed_from_edges(4, &edges(&[(0, 1), (0, 2), (2, 3), (3, 0)]));
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(0), &[3]);
+        assert_eq!(g.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn parallel_edges_and_loops_preserved() {
+        let g = CsrGraph::from_edges(2, &edges(&[(0, 1), (0, 1), (1, 1)]));
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = CsrGraph::from_edges(2, &edges(&[(0, 5)]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+    }
+}

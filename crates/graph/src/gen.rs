@@ -1,0 +1,587 @@
+//! Deterministic workload generators.
+//!
+//! Reproduces the paper's Section-VIII inputs at configurable scale:
+//!
+//! * [`SyntheticSpec`] / [`planted_scc_graph`] — the Table-I family: a graph
+//!   with planted SCCs (one *massive*, several *large*, or many *small*) plus
+//!   random filler nodes and edges, exactly the construction the paper
+//!   describes ("randomly select all nodes in SCCs, add edges among the nodes
+//!   of an SCC until it is strongly connected, then add additional random
+//!   nodes and edges");
+//! * [`web_like`] — a bow-tie web graph (large core SCC, IN and OUT regions,
+//!   tendrils, heavy-tailed out-degrees) standing in for WEBSPAM-UK2007,
+//!   which is not redistributable at reproduction time (see `DESIGN.md`);
+//! * structured graphs used by unit tests and ablations: [`random_gnm`],
+//!   [`dag_layered`], [`cycle`], [`path`], [`complete`], [`disjoint_cycles`];
+//! * [`edge_fraction`] — random edge subsampling, the x-axis of Figure 6.
+//!
+//! All generators take explicit seeds and stream edges straight to disk, so
+//! generating a graph never requires `O(|E|)` memory.
+
+use std::io;
+
+use ce_extmem::DiskEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edgelist::EdgeListGraph;
+use crate::types::Edge;
+
+/// A group of planted SCCs: `count` components of `size` nodes each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedScc {
+    /// Number of components to plant.
+    pub count: u32,
+    /// Nodes per component (must be ≥ 1; size 1 plants nothing interesting).
+    pub size: u32,
+}
+
+/// Which Table-I synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// One massive SCC (paper default: 1 × 400K nodes at |V| = 100M).
+    Massive,
+    /// Several large SCCs (paper default: 50 × 8K).
+    Large,
+    /// Many small SCCs (paper default: 10K × 40).
+    Small,
+}
+
+impl Dataset {
+    /// All three datasets, in paper order.
+    pub const ALL: [Dataset; 3] = [Dataset::Massive, Dataset::Large, Dataset::Small];
+
+    /// Short lowercase name for CLI/report use.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Massive => "massive",
+            Dataset::Large => "large",
+            Dataset::Small => "small",
+        }
+    }
+}
+
+/// Full description of a Table-I synthetic graph.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// `|V|`.
+    pub n_nodes: u32,
+    /// Average total degree `D`; the generator emits `D·|V|` edges in total.
+    pub avg_degree: f64,
+    /// Planted SCC groups.
+    pub planted: Vec<PlantedScc>,
+    /// If true, filler edges only go "forward" in a hidden topological order,
+    /// so the planted components are *exactly* the non-trivial SCCs of the
+    /// output (used by tests that assert planted recovery). If false, filler
+    /// edges are unconstrained, as in the paper, and may merge components.
+    pub acyclic_filler: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The paper's Table-I defaults, rescaled from `|V| = 100M` to `n_nodes`.
+    ///
+    /// Scaling policy (documented in `EXPERIMENTS.md`): the massive and large
+    /// datasets keep the paper's component *count* (1 and 50) and scale the
+    /// component *size* with `n/100M`; the small dataset keeps the component
+    /// size (40) and scales the count. This preserves the qualitative regime
+    /// each dataset exercises.
+    ///
+    /// Filler edges are acyclic: the datasets are *defined* by their planted
+    /// SCC structure ("containing different sizes of SCCs", Table I), which
+    /// only holds if the random filler contributes no components of its own —
+    /// unconstrained filler at degree 4 would create a giant SCC spanning
+    /// about half the nodes and swamp the planted structure.
+    pub fn table1(dataset: Dataset, n_nodes: u32, avg_degree: f64, seed: u64) -> SyntheticSpec {
+        let scale = n_nodes as f64 / 100_000_000.0;
+        let planted = match dataset {
+            Dataset::Massive => vec![PlantedScc {
+                count: 1,
+                size: ((400_000.0 * scale) as u32).max(2),
+            }],
+            Dataset::Large => vec![PlantedScc {
+                count: 50,
+                size: ((8_000.0 * scale) as u32).max(2),
+            }],
+            Dataset::Small => vec![PlantedScc {
+                count: ((10_000.0 * scale) as u32).max(1),
+                size: 40,
+            }],
+        };
+        SyntheticSpec {
+            n_nodes,
+            avg_degree,
+            planted,
+            acyclic_filler: true,
+            seed,
+        }
+    }
+
+    /// Total nodes covered by planted components.
+    pub fn planted_nodes(&self) -> u64 {
+        self.planted
+            .iter()
+            .map(|p| p.count as u64 * p.size as u64)
+            .sum()
+    }
+}
+
+/// Generates a Table-I style graph (see [`SyntheticSpec`]).
+pub fn planted_scc_graph(env: &DiskEnv, spec: &SyntheticSpec) -> io::Result<EdgeListGraph> {
+    let n = spec.n_nodes;
+    assert!(n >= 1, "graph must have at least one node");
+    assert!(
+        spec.planted_nodes() <= n as u64,
+        "planted components ({}) exceed |V| = {}",
+        spec.planted_nodes(),
+        n
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Random node membership: a permutation of 0..n; planted components take
+    // consecutive segments of it ("randomly selecting all nodes in SCCs").
+    let mut perm: Vec<u32> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+
+    // block_of_rank: planted blocks first (by segment), then singleton ranks.
+    let mut block_bounds: Vec<u32> = Vec::new(); // exclusive end rank per block
+    {
+        let mut at = 0u32;
+        for p in &spec.planted {
+            for _ in 0..p.count {
+                at += p.size;
+                block_bounds.push(at);
+            }
+        }
+    }
+    let planted_total = *block_bounds.last().unwrap_or(&0);
+    let n_blocks = block_bounds.len() as u32;
+    let block_of_rank = |rank: u32| -> u32 {
+        if rank < planted_total {
+            block_bounds.partition_point(|&b| b <= rank) as u32
+        } else {
+            n_blocks + (rank - planted_total)
+        }
+    };
+    // rank_of: inverse permutation.
+    let mut rank_of = vec![0u32; n as usize];
+    for (rank, &node) in perm.iter().enumerate() {
+        rank_of[node as usize] = rank as u32;
+    }
+
+    let target_edges = (spec.avg_degree * n as f64).round() as u64;
+
+    EdgeListGraph::from_writer(env, n as u64, "synthetic", |w| {
+        let mut emitted = 0u64;
+        // 1. Strongly connect each planted component: a random cycle through
+        //    its members, plus ~size/2 random chords for internal structure.
+        let mut start = 0u32;
+        for &end in &block_bounds {
+            let members = &perm[start as usize..end as usize];
+            let size = members.len();
+            for i in 0..size {
+                w.push(Edge::new(members[i], members[(i + 1) % size]))?;
+                emitted += 1;
+            }
+            let chords = size / 2;
+            for _ in 0..chords {
+                let a = members[rng.gen_range(0..size)];
+                let b = members[rng.gen_range(0..size)];
+                if a != b {
+                    w.push(Edge::new(a, b))?;
+                    emitted += 1;
+                }
+            }
+            start = end;
+        }
+        // 2. Random filler edges up to the degree target.
+        while emitted < target_edges {
+            let mut u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            if spec.acyclic_filler {
+                let (bu, bv) = (block_of_rank(rank_of[u as usize]), block_of_rank(rank_of[v as usize]));
+                if bu == bv {
+                    // Internal to a planted SCC: harmless, keep as-is.
+                } else if bu > bv {
+                    std::mem::swap(&mut u, &mut v);
+                }
+            }
+            w.push(Edge::new(u, v))?;
+            emitted += 1;
+        }
+        Ok(())
+    })
+}
+
+/// Bow-tie web graph: one core SCC of about `n/4` nodes, an IN region feeding
+/// it, an OUT region fed by it, and sparse tendrils — with heavy-tailed
+/// out-degrees in the core, mimicking the WEBSPAM-UK2007 structure the paper
+/// evaluates on (Figures 6 and 7).
+pub fn web_like(env: &DiskEnv, n_nodes: u32, avg_degree: f64, seed: u64) -> io::Result<EdgeListGraph> {
+    assert!(n_nodes >= 20, "web-like graph needs at least 20 nodes");
+    let n = n_nodes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core_end = n / 4;
+    let in_end = core_end + n / 5;
+    let out_end = in_end + n / 5;
+    // tendrils: out_end..n
+    let target_edges = (avg_degree * n as f64).round() as u64;
+
+    // Heavy-tailed degree sample (discrete Pareto, alpha ~ 1.8, min 1).
+    let pareto = {
+        move |rng: &mut StdRng, cap: u32| -> u32 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let d = (1.0 / u.powf(1.0 / 1.8)).floor() as u32;
+            d.clamp(1, cap)
+        }
+    };
+
+    EdgeListGraph::from_writer(env, n as u64, "weblike", |w| {
+        let mut emitted = 0u64;
+        // Core cycle guarantees the core is one SCC.
+        for i in 0..core_end {
+            w.push(Edge::new(i, (i + 1) % core_end))?;
+            emitted += 1;
+        }
+        // Core internal chords with heavy-tailed out-degree (~50% of budget).
+        let core_budget = target_edges / 2;
+        while emitted < core_budget {
+            let u = rng.gen_range(0..core_end);
+            let extra = pareto(&mut rng, 64);
+            for _ in 0..extra {
+                let v = rng.gen_range(0..core_end);
+                if u != v {
+                    w.push(Edge::new(u, v))?;
+                    emitted += 1;
+                }
+            }
+        }
+        // IN region: edges into the core, or *forward* within IN (forward
+        // orientation keeps IN acyclic, as in real web bow-ties) (~20%).
+        let in_budget = core_budget + target_edges / 5;
+        while emitted < in_budget {
+            let u = rng.gen_range(core_end..in_end);
+            let to_core = rng.gen_bool(0.7);
+            if to_core {
+                let v = rng.gen_range(0..core_end);
+                w.push(Edge::new(u, v))?;
+                emitted += 1;
+            } else {
+                let v = rng.gen_range(core_end..in_end);
+                if u != v {
+                    w.push(Edge::new(u.min(v), u.max(v)))?;
+                    emitted += 1;
+                }
+            }
+        }
+        // OUT region: edges from the core, or forward within OUT (~20%).
+        let out_budget = in_budget + target_edges / 5;
+        while emitted < out_budget {
+            let v = rng.gen_range(in_end..out_end);
+            let from_core = rng.gen_bool(0.7);
+            if from_core {
+                let u = rng.gen_range(0..core_end);
+                w.push(Edge::new(u, v))?;
+                emitted += 1;
+            } else {
+                let u = rng.gen_range(in_end..out_end);
+                if u != v {
+                    w.push(Edge::new(u.min(v), u.max(v)))?;
+                    emitted += 1;
+                }
+            }
+        }
+        // Tendrils and tubes: IN -> tendril, tendril -> OUT (~10%).
+        while emitted < target_edges {
+            if out_end >= n {
+                break;
+            }
+            let t = rng.gen_range(out_end..n);
+            if rng.gen_bool(0.5) {
+                let u = rng.gen_range(core_end..in_end.max(core_end + 1));
+                w.push(Edge::new(u, t))?;
+            } else {
+                let v = rng.gen_range(in_end..out_end.max(in_end + 1));
+                w.push(Edge::new(t, v))?;
+            }
+            emitted += 1;
+        }
+        Ok(())
+    })
+}
+
+/// Uniform random directed multigraph with `m` edges (self-loops skipped).
+pub fn random_gnm(env: &DiskEnv, n_nodes: u32, m: u64, seed: u64) -> io::Result<EdgeListGraph> {
+    assert!(n_nodes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    EdgeListGraph::from_writer(env, n_nodes as u64, "gnm", |w| {
+        let mut emitted = 0;
+        while emitted < m {
+            let u = rng.gen_range(0..n_nodes);
+            let v = rng.gen_range(0..n_nodes);
+            if u != v {
+                w.push(Edge::new(u, v))?;
+                emitted += 1;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Layered DAG: `n_nodes` split into `layers` equal layers, `m` random edges
+/// from lower to strictly higher layers. Every SCC is a singleton — this is
+/// the paper's "Case-2" graph on which the EM-SCC baseline cannot make
+/// progress.
+pub fn dag_layered(
+    env: &DiskEnv,
+    n_nodes: u32,
+    layers: u32,
+    m: u64,
+    seed: u64,
+) -> io::Result<EdgeListGraph> {
+    assert!(layers >= 2 && n_nodes >= layers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per = n_nodes / layers;
+    EdgeListGraph::from_writer(env, n_nodes as u64, "dag", |w| {
+        let mut emitted = 0;
+        while emitted < m {
+            let lu = rng.gen_range(0..layers - 1);
+            let lv = rng.gen_range(lu + 1..layers);
+            let u = lu * per + rng.gen_range(0..per);
+            let v = lv * per + rng.gen_range(0..per);
+            if u < n_nodes && v < n_nodes {
+                w.push(Edge::new(u, v))?;
+                emitted += 1;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// A single directed cycle `0 → 1 → … → n-1 → 0` (one SCC).
+pub fn cycle(env: &DiskEnv, n_nodes: u32) -> io::Result<EdgeListGraph> {
+    assert!(n_nodes >= 1);
+    EdgeListGraph::from_writer(env, n_nodes as u64, "cycle", |w| {
+        for i in 0..n_nodes {
+            w.push(Edge::new(i, (i + 1) % n_nodes))?;
+        }
+        Ok(())
+    })
+}
+
+/// A directed cycle over a *random permutation* of `0..n` (one SCC).
+///
+/// The sequential-id [`cycle`] is adversarial for degree-based vertex-cover
+/// contraction: all degrees tie, so the id tie-break removes only the single
+/// local minimum per iteration. Shuffled ids give the expected ≈ n/3 local
+/// minima per round, which is the regime real graphs (and the paper's
+/// experiments) live in.
+pub fn permuted_cycle(env: &DiskEnv, n_nodes: u32, seed: u64) -> io::Result<EdgeListGraph> {
+    assert!(n_nodes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n_nodes).collect();
+    for i in (1..n_nodes as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    EdgeListGraph::from_writer(env, n_nodes as u64, "pcycle", |w| {
+        for i in 0..n_nodes as usize {
+            w.push(Edge::new(perm[i], perm[(i + 1) % n_nodes as usize]))?;
+        }
+        Ok(())
+    })
+}
+
+/// A simple path `0 → 1 → … → n-1` (all singleton SCCs).
+pub fn path(env: &DiskEnv, n_nodes: u32) -> io::Result<EdgeListGraph> {
+    assert!(n_nodes >= 1);
+    EdgeListGraph::from_writer(env, n_nodes as u64, "path", |w| {
+        for i in 0..n_nodes.saturating_sub(1) {
+            w.push(Edge::new(i, i + 1))?;
+        }
+        Ok(())
+    })
+}
+
+/// Complete directed graph on `k` nodes (one SCC, max density).
+pub fn complete(env: &DiskEnv, k: u32) -> io::Result<EdgeListGraph> {
+    EdgeListGraph::from_writer(env, k as u64, "complete", |w| {
+        for u in 0..k {
+            for v in 0..k {
+                if u != v {
+                    w.push(Edge::new(u, v))?;
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Disjoint directed cycles of the given sizes (one SCC per cycle).
+pub fn disjoint_cycles(env: &DiskEnv, sizes: &[u32]) -> io::Result<EdgeListGraph> {
+    let n: u64 = sizes.iter().map(|&s| s as u64).sum();
+    EdgeListGraph::from_writer(env, n, "cycles", |w| {
+        let mut base = 0u32;
+        for &s in sizes {
+            for i in 0..s {
+                w.push(Edge::new(base + i, base + (i + 1) % s))?;
+            }
+            base += s;
+        }
+        Ok(())
+    })
+}
+
+/// Keeps each edge of `g` independently with probability `frac` — the
+/// "percentage of edges" axis of Figure 6.
+pub fn edge_fraction(
+    env: &DiskEnv,
+    g: &EdgeListGraph,
+    frac: f64,
+    seed: u64,
+) -> io::Result<EdgeListGraph> {
+    assert!((0.0..=1.0).contains(&frac), "fraction must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = g.edges().reader()?;
+    EdgeListGraph::from_writer(env, g.n_nodes(), "fraction", |w| {
+        while let Some(e) = r.next()? {
+            if rng.gen_bool(frac) {
+                w.push(e)?;
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::tarjan::tarjan_scc;
+    use ce_extmem::IoConfig;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(1 << 12, 1 << 20)).unwrap()
+    }
+
+    #[test]
+    fn planted_acyclic_recovers_exact_sccs() {
+        let env = env();
+        let spec = SyntheticSpec {
+            n_nodes: 2000,
+            avg_degree: 3.0,
+            planted: vec![
+                PlantedScc { count: 2, size: 100 },
+                PlantedScc { count: 5, size: 10 },
+            ],
+            acyclic_filler: true,
+            seed: 42,
+        };
+        let g = planted_scc_graph(&env, &spec).unwrap();
+        assert_eq!(g.n_nodes(), 2000);
+        let edges = g.edges_in_memory().unwrap();
+        let r = tarjan_scc(&CsrGraph::from_edges(2000, &edges));
+        let sizes = r.component_sizes();
+        assert_eq!(&sizes[..2], &[100, 100]);
+        assert_eq!(&sizes[2..7], &[10, 10, 10, 10, 10]);
+        assert!(sizes[7..].iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn planted_free_filler_has_at_least_target_density() {
+        let env = env();
+        let spec = SyntheticSpec {
+            n_nodes: 1000,
+            avg_degree: 4.0,
+            planted: vec![PlantedScc { count: 1, size: 50 }],
+            acyclic_filler: false,
+            seed: 7,
+        };
+        let g = planted_scc_graph(&env, &spec).unwrap();
+        assert!(g.n_edges() >= 4000);
+        assert!(g.n_edges() < 4200, "overshoot bounded by one chord batch");
+    }
+
+    #[test]
+    fn planted_generation_is_deterministic() {
+        let env = env();
+        let spec = SyntheticSpec {
+            n_nodes: 500,
+            avg_degree: 2.0,
+            planted: vec![PlantedScc { count: 3, size: 20 }],
+            acyclic_filler: false,
+            seed: 99,
+        };
+        let a = planted_scc_graph(&env, &spec).unwrap().edges_in_memory().unwrap();
+        let b = planted_scc_graph(&env, &spec).unwrap().edges_in_memory().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table1_scaling() {
+        let m = SyntheticSpec::table1(Dataset::Massive, 1_000_000, 4.0, 1);
+        assert_eq!(m.planted, vec![PlantedScc { count: 1, size: 4000 }]);
+        let l = SyntheticSpec::table1(Dataset::Large, 1_000_000, 4.0, 1);
+        assert_eq!(l.planted, vec![PlantedScc { count: 50, size: 80 }]);
+        let s = SyntheticSpec::table1(Dataset::Small, 1_000_000, 4.0, 1);
+        assert_eq!(s.planted, vec![PlantedScc { count: 100, size: 40 }]);
+    }
+
+    #[test]
+    fn web_like_has_one_giant_scc() {
+        let env = env();
+        let g = web_like(&env, 2000, 5.0, 3).unwrap();
+        let edges = g.edges_in_memory().unwrap();
+        let r = tarjan_scc(&CsrGraph::from_edges(2000, &edges));
+        let sizes = r.component_sizes();
+        assert!(
+            sizes[0] >= 500,
+            "core SCC should hold ~n/4 nodes, got {}",
+            sizes[0]
+        );
+        assert!(sizes[1] < sizes[0] / 4, "second SCC should be much smaller");
+    }
+
+    #[test]
+    fn dag_has_only_singletons() {
+        let env = env();
+        let g = dag_layered(&env, 300, 10, 900, 5).unwrap();
+        let edges = g.edges_in_memory().unwrap();
+        let r = tarjan_scc(&CsrGraph::from_edges(300, &edges));
+        assert_eq!(r.count, 300);
+    }
+
+    #[test]
+    fn structured_generators() {
+        let env = env();
+        assert_eq!(cycle(&env, 5).unwrap().n_edges(), 5);
+        assert_eq!(path(&env, 5).unwrap().n_edges(), 4);
+        assert_eq!(complete(&env, 4).unwrap().n_edges(), 12);
+        let dc = disjoint_cycles(&env, &[3, 4]).unwrap();
+        assert_eq!(dc.n_nodes(), 7);
+        assert_eq!(dc.n_edges(), 7);
+        let edges = dc.edges_in_memory().unwrap();
+        let r = tarjan_scc(&CsrGraph::from_edges(7, &edges));
+        assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn edge_fraction_subsamples() {
+        let env = env();
+        let g = random_gnm(&env, 100, 10_000, 11).unwrap();
+        let half = edge_fraction(&env, &g, 0.5, 13).unwrap();
+        let ratio = half.n_edges() as f64 / g.n_edges() as f64;
+        assert!((0.45..0.55).contains(&ratio), "ratio {ratio}");
+        let all = edge_fraction(&env, &g, 1.0, 13).unwrap();
+        assert_eq!(all.n_edges(), g.n_edges());
+        let none = edge_fraction(&env, &g, 0.0, 13).unwrap();
+        assert_eq!(none.n_edges(), 0);
+    }
+}

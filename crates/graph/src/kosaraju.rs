@@ -1,0 +1,125 @@
+//! Iterative Kosaraju–Sharir SCC.
+//!
+//! This is the in-memory algorithm the paper's DFS-SCC baseline externalizes
+//! (Algorithm 1): a first DFS produces a decreasing postorder; a second DFS on
+//! the reversed graph, rooted in that order, peels off one SCC per tree.
+//! Keeping it here (a) cross-checks Tarjan in tests, and (b) documents the
+//! exact traversal structure `ce-dfs-scc` reproduces with external state.
+
+use crate::csr::CsrGraph;
+use crate::tarjan::SccResult;
+use crate::types::NodeId;
+
+/// Computes the DFS finish order (postorder) of `g`, starting roots in
+/// increasing id order — the order `DFS-Tree(G)` of Algorithm 1 produces.
+pub fn postorder(g: &CsrGraph) -> Vec<NodeId> {
+    let n = g.n_nodes();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        stack.push((start, 0));
+        while let Some(&mut (v, ref mut child)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *child < nbrs.len() {
+                let w = nbrs[*child];
+                *child += 1;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+/// Computes SCCs by the Kosaraju–Sharir two-pass method.
+pub fn kosaraju_scc(n_nodes: u64, edges: &[crate::types::Edge]) -> SccResult {
+    let g = CsrGraph::from_edges(n_nodes, edges);
+    let post = postorder(&g);
+    let rev = CsrGraph::reversed_from_edges(n_nodes, edges);
+
+    let n = g.n_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack: Vec<u32> = Vec::new();
+    // Roots in decreasing postorder (Algorithm 1 lines 3-5).
+    for &root in post.iter().rev() {
+        if comp[root as usize] != u32::MAX {
+            continue;
+        }
+        comp[root as usize] = count;
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            for &w in rev.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    SccResult { comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::same_partition;
+    use crate::tarjan::tarjan_scc;
+    use crate::types::Edge;
+
+    fn edges(list: &[(u32, u32)]) -> Vec<Edge> {
+        list.iter().map(|&(u, v)| Edge::new(u, v)).collect()
+    }
+
+    #[test]
+    fn postorder_of_chain() {
+        let g = CsrGraph::from_edges(3, &edges(&[(0, 1), (1, 2)]));
+        assert_eq!(postorder(&g), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn matches_tarjan_on_small_graphs() {
+        let cases: Vec<(u64, Vec<(u32, u32)>)> = vec![
+            (1, vec![]),
+            (2, vec![(0, 1), (1, 0)]),
+            (4, vec![(0, 1), (1, 2), (2, 3)]),
+            (5, vec![(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2)]),
+            (6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (5, 0)]),
+        ];
+        for (n, list) in cases {
+            let es = edges(&list);
+            let t = tarjan_scc(&CsrGraph::from_edges(n, &es));
+            let k = kosaraju_scc(n, &es);
+            assert_eq!(t.count, k.count, "graph: {list:?}");
+            assert!(same_partition(&t.comp, &k.comp), "graph: {list:?}");
+        }
+    }
+
+    #[test]
+    fn matches_tarjan_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for case in 0..30 {
+            let n = rng.gen_range(1..60u32);
+            let m = rng.gen_range(0..200usize);
+            let es: Vec<Edge> = (0..m)
+                .map(|_| Edge::new(rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            let t = tarjan_scc(&CsrGraph::from_edges(n as u64, &es));
+            let k = kosaraju_scc(n as u64, &es);
+            assert_eq!(t.count, k.count, "case {case}");
+            assert!(same_partition(&t.comp, &k.comp), "case {case}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Graph substrate for the Contract & Expand SCC workspace.
+//!
+//! Provides:
+//!
+//! * [`types`] — node ids, the on-disk [`types::Edge`] record and the
+//!   [`types::SccLabel`] record `(node, scc)` shared by every algorithm;
+//! * [`edgelist`] — [`edgelist::EdgeListGraph`]: a directed graph stored as an
+//!   external edge file plus a node count, with the external transforms
+//!   (reverse, sort, dedup, degree table) all algorithms share;
+//! * [`csr`] — an in-memory compressed-sparse-row view, for the in-memory
+//!   kernels and for verification;
+//! * [`tarjan`] / [`kosaraju`] — iterative in-memory SCC algorithms; Tarjan is
+//!   the ground truth every external algorithm is tested against, Kosaraju is
+//!   the algorithm DFS-SCC externalizes (Algorithm 1 of the paper);
+//! * [`gen`] — deterministic workload generators: the Table-I synthetic
+//!   family (Massive-/Large-/Small-SCC), the web-like bow-tie graph standing
+//!   in for WEBSPAM-UK2007, and assorted structured graphs;
+//! * [`labels`] — utilities over SCC labelings (canonicalization, partition
+//!   comparison, histograms, condensation — in memory and external);
+//! * [`stats`] — external graph statistics (degree distribution,
+//!   sources/sinks/isolated counts) in `O(sort(|E|))` I/Os.
+
+pub mod csr;
+pub mod edgelist;
+pub mod gen;
+pub mod kosaraju;
+pub mod labels;
+pub mod stats;
+pub mod tarjan;
+pub mod types;
+
+pub use csr::CsrGraph;
+pub use edgelist::EdgeListGraph;
+pub use labels::SccLabeling;
+pub use types::{Edge, NodeId, SccLabel};

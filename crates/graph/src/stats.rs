@@ -1,0 +1,163 @@
+//! External graph statistics.
+//!
+//! Computes the structural numbers an operator wants before running an
+//! external SCC job — degree extremes and distribution, source/sink/isolated
+//! counts — in `O(sort(|E|))` I/Os with no per-node memory. The quantities
+//! also drive the paper's analysis: Theorem 5.3 bounds removed-node degrees
+//! by `√(2|E|)`, and Type-1 reduction removes exactly the sources and sinks
+//! counted here.
+
+use std::io;
+
+use ce_extmem::DiskEnv;
+
+use crate::edgelist::EdgeListGraph;
+
+/// Structural statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `|V|` (the declared node universe).
+    pub n_nodes: u64,
+    /// `|E|` (edge records, duplicates included).
+    pub n_edges: u64,
+    /// Self-loop count.
+    pub self_loops: u64,
+    /// Maximum in-degree.
+    pub max_in: u32,
+    /// Maximum out-degree.
+    pub max_out: u32,
+    /// Nodes with `deg_in > 0` and `deg_out = 0` (sinks).
+    pub sinks: u64,
+    /// Nodes with `deg_out > 0` and `deg_in = 0` (sources).
+    pub sources: u64,
+    /// Nodes incident to no edge at all.
+    pub isolated: u64,
+    /// Histogram of total degrees in powers of two: bucket `i` counts nodes
+    /// with `2^i ≤ deg < 2^{i+1}` (bucket 0 covers degree 1).
+    pub degree_buckets: Vec<u64>,
+}
+
+impl GraphStats {
+    /// Average total degree `2|E| / |V|` (0 for empty graphs).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.n_edges as f64 / self.n_nodes as f64
+        }
+    }
+
+    /// Upper bound on the degree of any node the contraction can remove
+    /// (Theorem 5.3): `√(2|E|)`.
+    pub fn removable_degree_bound(&self) -> u64 {
+        (2.0 * self.n_edges as f64).sqrt().ceil() as u64
+    }
+}
+
+/// Computes [`GraphStats`] externally: one degree-table pass (two sorts of
+/// the edge file) plus one scan.
+pub fn graph_stats(env: &DiskEnv, g: &EdgeListGraph) -> io::Result<GraphStats> {
+    let vd = g.degree_table(env, false)?;
+    let mut r = vd.reader()?;
+    let mut stats = GraphStats {
+        n_nodes: g.n_nodes(),
+        n_edges: g.n_edges(),
+        self_loops: 0,
+        max_in: 0,
+        max_out: 0,
+        sinks: 0,
+        sources: 0,
+        isolated: 0,
+        degree_buckets: Vec::new(),
+    };
+    let mut incident = 0u64;
+    while let Some(d) = r.next()? {
+        incident += 1;
+        stats.max_in = stats.max_in.max(d.deg_in);
+        stats.max_out = stats.max_out.max(d.deg_out);
+        match (d.deg_in, d.deg_out) {
+            (0, _) => stats.sources += 1,
+            (_, 0) => stats.sinks += 1,
+            _ => {}
+        }
+        let total = d.total();
+        if total > 0 {
+            let bucket = 63 - total.leading_zeros() as usize;
+            if stats.degree_buckets.len() <= bucket {
+                stats.degree_buckets.resize(bucket + 1, 0);
+            }
+            stats.degree_buckets[bucket] += 1;
+        }
+    }
+    stats.isolated = g.n_nodes().saturating_sub(incident);
+
+    // Self-loops: one scan of the edge file.
+    let mut er = g.edges().reader()?;
+    while let Some(e) = er.next()? {
+        if e.is_loop() {
+            stats.self_loops += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::IoConfig;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(1 << 10, 1 << 14)).unwrap()
+    }
+
+    #[test]
+    fn counts_on_a_small_graph() {
+        let env = env();
+        // 0 -> 1 -> 2, 3 -> 3 (self loop), node 4 isolated.
+        let g = EdgeListGraph::from_slice(&env, 5, &[(0, 1), (1, 2), (3, 3)]).unwrap();
+        let s = graph_stats(&env, &g).unwrap();
+        assert_eq!(s.n_nodes, 5);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.self_loops, 1);
+        assert_eq!(s.sources, 1); // node 0
+        assert_eq!(s.sinks, 1); // node 2
+        assert_eq!(s.isolated, 1); // node 4
+        assert_eq!(s.max_in, 1);
+        assert_eq!(s.max_out, 1);
+        // degrees: 0:1, 1:2, 2:1, 3:2 -> bucket0 (deg 1) = 2, bucket1 (2-3) = 2.
+        assert_eq!(s.degree_buckets, vec![2, 2]);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let env = env();
+        let g = EdgeListGraph::from_slice(&env, 4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        let s = graph_stats(&env, &g).unwrap();
+        assert!((s.avg_degree() - 2.0).abs() < 1e-9);
+        assert_eq!(s.removable_degree_bound(), 3); // ceil(sqrt(8)) = 3
+        assert_eq!(s.sources + s.sinks + s.isolated, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let env = env();
+        let g = EdgeListGraph::from_slice(&env, 0, &[]).unwrap();
+        let s = graph_stats(&env, &g).unwrap();
+        assert_eq!(s.avg_degree(), 0.0);
+        assert!(s.degree_buckets.is_empty());
+    }
+
+    #[test]
+    fn generator_sanity_via_stats() {
+        let env = env();
+        let g = crate::gen::web_like(&env, 2000, 5.0, 3).unwrap();
+        let s = graph_stats(&env, &g).unwrap();
+        assert_eq!(s.n_nodes, 2000);
+        assert!(s.n_edges >= 9_900);
+        assert!(s.max_out >= 8, "heavy tail should produce hubs");
+        let g2 = crate::gen::dag_layered(&env, 1000, 5, 3000, 1).unwrap();
+        let s2 = graph_stats(&env, &g2).unwrap();
+        assert!(s2.sources > 0 && s2.sinks > 0);
+        assert_eq!(s2.self_loops, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Iterative Tarjan SCC — the in-memory ground truth.
+//!
+//! Linear time, explicit stack (no recursion, so million-node test graphs
+//! cannot overflow the call stack). Every external algorithm in the workspace
+//! is validated against this implementation.
+
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+
+/// Result of an in-memory SCC computation: a dense component id per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccResult {
+    /// `comp[v]` is the component index of `v`, in `0..count`.
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+impl SccResult {
+    /// Relabels every node with the *minimum member id* of its component —
+    /// the canonical representative labeling used across the workspace (and
+    /// the labeling produced by the semi-external base case).
+    pub fn canonical_reps(&self) -> Vec<NodeId> {
+        let mut rep = vec![NodeId::MAX; self.count as usize];
+        for (v, &c) in self.comp.iter().enumerate() {
+            rep[c as usize] = rep[c as usize].min(v as u32);
+        }
+        self.comp.iter().map(|&c| rep[c as usize]).collect()
+    }
+
+    /// Sizes of all components, sorted descending.
+    pub fn component_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.count as usize];
+        for &c in &self.comp {
+            sizes[c as usize] += 1;
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+/// Computes SCCs of `g` with an iterative Tarjan traversal.
+pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
+    let n = g.n_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n]; // discovery index
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new(); // Tarjan's SCC stack
+    let mut call: Vec<(u32, usize)> = Vec::new(); // (node, next child idx)
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *child < nbrs.len() {
+                let w = nbrs[*child];
+                *child += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult { comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn scc(n: u64, edges: &[(u32, u32)]) -> SccResult {
+        let es: Vec<Edge> = edges.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        tarjan_scc(&CsrGraph::from_edges(n, &es))
+    }
+
+    #[test]
+    fn paper_figure_1_graph() {
+        // Fig. 1: SCC1 = {b,c,d,e,f,g}, SCC2 = {i,j,k,l}; a, h, m singletons.
+        // a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10 l=11 m=12
+        let r = scc(
+            13,
+            &[
+                (0, 1),   // a->b
+                (1, 2),   // b->c
+                (2, 3),   // c->d
+                (3, 4),   // d->e
+                (4, 5),   // e->f
+                (5, 6),   // f->g
+                (6, 1),   // g->b
+                (6, 2),   // g->c (chord)
+                (4, 7),   // e->h
+                (7, 8),   // h->i
+                (8, 9),   // i->j
+                (9, 10),  // j->k
+                (10, 11), // k->l
+                (11, 8),  // l->i
+                (9, 12),  // j->m
+                (6, 8),   // g->i
+                (2, 4),   // c->e (chord)
+                (5, 1),   // f->b (chord)
+                (10, 8),  // k->i (chord)
+            ],
+        );
+        assert_eq!(r.count, 5);
+        let reps = r.canonical_reps();
+        // b..g share a rep; i..l share a rep; a, h, m are singletons.
+        assert_eq!(reps[1], reps[2]);
+        assert_eq!(reps[2], reps[6]);
+        assert_eq!(reps[8], reps[11]);
+        assert_ne!(reps[0], reps[1]);
+        assert_ne!(reps[7], reps[8]);
+        assert_eq!(reps[12], 12);
+        let sizes = r.component_sizes();
+        assert_eq!(sizes, vec![6, 4, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let r = scc(5, &[]);
+        assert_eq!(r.count, 5);
+        assert_eq!(r.canonical_reps(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_cycle() {
+        let r = scc(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(r.count, 1);
+        assert_eq!(r.canonical_reps(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let r = scc(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(r.count, 4);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let r = scc(2, &[(0, 0), (0, 1)]);
+        assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn two_cycles_joined_one_way() {
+        // 0<->1, 2<->3, edge 1->2 one-way: two SCCs.
+        let r = scc(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        assert_eq!(r.count, 2);
+        let reps = r.canonical_reps();
+        assert_eq!(reps[0], reps[1]);
+        assert_eq!(reps[2], reps[3]);
+        assert_ne!(reps[0], reps[2]);
+    }
+
+    #[test]
+    fn long_path_does_not_overflow_stack() {
+        let n = 200_000u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0)); // close the loop: one giant SCC
+        let r = scc(n as u64, &edges);
+        assert_eq!(r.count, 1);
+    }
+}

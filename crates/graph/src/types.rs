@@ -1,0 +1,201 @@
+//! Core on-disk record types.
+
+use ce_extmem::Record;
+
+/// Node identifier. The paper's experiments go up to 200M nodes; `u32`
+/// matches the 4-byte-per-node accounting it uses for memory sizing.
+pub type NodeId = u32;
+
+/// A directed edge `(src → dst)`, 8 bytes on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+impl Edge {
+    /// Constructs an edge.
+    pub fn new(src: NodeId, dst: NodeId) -> Edge {
+        Edge { src, dst }
+    }
+
+    /// The same edge with direction reversed.
+    pub fn reversed(self) -> Edge {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Sort key grouping out-edges per node: `(src, dst)`. This is the order
+    /// the paper calls `E_out` (Algorithm 3 line 3).
+    pub fn by_src(&self) -> (NodeId, NodeId) {
+        (self.src, self.dst)
+    }
+
+    /// Sort key grouping in-edges per node: `(dst, src)`. This is the order
+    /// the paper calls `E_in` (Algorithm 3 line 2).
+    pub fn by_dst(&self) -> (NodeId, NodeId) {
+        (self.dst, self.src)
+    }
+
+    /// True for self-loops `(u, u)`.
+    pub fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl Record for Edge {
+    const SIZE: usize = 8;
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.src.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.dst.to_le_bytes());
+    }
+
+    #[inline]
+    fn decode(buf: &[u8]) -> Self {
+        Edge {
+            src: u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            dst: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        }
+    }
+}
+
+/// The assignment of one node to its SCC. The `scc` field is the id of a
+/// *representative member* of the component (the way labels are produced
+/// throughout this workspace: the minimum member id for components found by
+/// the semi-external base case, the node's own id for singletons discovered
+/// during expansion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SccLabel {
+    /// The node being labeled.
+    pub node: NodeId,
+    /// Representative member id of the node's SCC.
+    pub scc: NodeId,
+}
+
+impl SccLabel {
+    /// Constructs a label.
+    pub fn new(node: NodeId, scc: NodeId) -> SccLabel {
+        SccLabel { node, scc }
+    }
+}
+
+impl Record for SccLabel {
+    const SIZE: usize = 8;
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.node.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.scc.to_le_bytes());
+    }
+
+    #[inline]
+    fn decode(buf: &[u8]) -> Self {
+        SccLabel {
+            node: u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            scc: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        }
+    }
+}
+
+/// Per-node degree record `(node, deg_in, deg_out)` — the paper's `V_d`
+/// (Algorithm 3 line 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDegrees {
+    /// Node id.
+    pub node: NodeId,
+    /// In-degree in the current graph.
+    pub deg_in: u32,
+    /// Out-degree in the current graph.
+    pub deg_out: u32,
+}
+
+impl NodeDegrees {
+    /// Total degree `deg(v) = deg_in(v) + deg_out(v)` as used by the `>`
+    /// operator (Definition 5.1). Widened to avoid overflow on multigraphs.
+    pub fn total(&self) -> u64 {
+        self.deg_in as u64 + self.deg_out as u64
+    }
+
+    /// The product `deg_in(v) × deg_out(v)` used as a tie-break by the
+    /// optimized `>` operator (Definition 7.1) — it bounds the number of
+    /// bypass edges created if `v` is removed.
+    pub fn product(&self) -> u64 {
+        self.deg_in as u64 * self.deg_out as u64
+    }
+}
+
+impl Record for NodeDegrees {
+    const SIZE: usize = 12;
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.node.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.deg_in.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.deg_out.to_le_bytes());
+    }
+
+    #[inline]
+    fn decode(buf: &[u8]) -> Self {
+        NodeDegrees {
+            node: u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            deg_in: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            deg_out: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_roundtrip_and_keys() {
+        let e = Edge::new(3, 9);
+        let mut buf = [0u8; 8];
+        e.encode(&mut buf);
+        assert_eq!(Edge::decode(&buf), e);
+        assert_eq!(e.by_src(), (3, 9));
+        assert_eq!(e.by_dst(), (9, 3));
+        assert_eq!(e.reversed(), Edge::new(9, 3));
+        assert!(!e.is_loop());
+        assert!(Edge::new(4, 4).is_loop());
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let l = SccLabel::new(17, 3);
+        let mut buf = [0u8; 8];
+        l.encode(&mut buf);
+        assert_eq!(SccLabel::decode(&buf), l);
+    }
+
+    #[test]
+    fn degrees_math() {
+        let d = NodeDegrees {
+            node: 1,
+            deg_in: 3,
+            deg_out: 4,
+        };
+        assert_eq!(d.total(), 7);
+        assert_eq!(d.product(), 12);
+        let mut buf = [0u8; 12];
+        d.encode(&mut buf);
+        assert_eq!(NodeDegrees::decode(&buf), d);
+    }
+
+    #[test]
+    fn degree_product_does_not_overflow() {
+        let d = NodeDegrees {
+            node: 0,
+            deg_in: u32::MAX,
+            deg_out: u32::MAX,
+        };
+        assert_eq!(d.product(), (u32::MAX as u64) * (u32::MAX as u64));
+    }
+}

@@ -1,0 +1,305 @@
+//! Spanning-forest semi-external SCC (1PB-SCC-style).
+//!
+//! A reconstruction of the mechanism of Zhang et al. (SIGMOD'13), which the
+//! paper uses as its Semi-SCC black box: keep an in-memory spanning forest
+//! whose tree edges are real graph edges, stream the edge file in passes, and
+//!
+//! * **contract** when an edge `(u, v)` points at a tree ancestor `v` of `u`
+//!   — the tree path `v → … → u` plus `(u, v)` is a cycle, so the whole path
+//!   is one partial SCC (merged in a union-find, the paper's "contract each
+//!   partial SCC into one node");
+//! * **re-hang** a component under a deeper parent when an edge shows its
+//!   depth is inconsistent (`depth[v] < depth[u] + 1`), the depth-based
+//!   "weaker order" that replaces the strict DFS postorder.
+//!
+//! At fixpoint every remaining inter-component edge satisfies
+//! `depth[target] ≥ depth[source] + 1`, so depth is a topological certificate
+//! — the contracted components are exactly the SCCs.
+//!
+//! Termination: each pass either performs a union (at most `n − 1` overall)
+//! or increases some component's depth (bounded by `n`), so the total number
+//! of state changes is finite; passes without changes end the loop.
+
+use std::cmp::Reverse;
+use std::io;
+
+use ce_extmem::{sort_by_key, DiskEnv, ExtFile};
+use ce_graph::types::{Edge, SccLabel};
+
+use crate::{normalize_min_rep, remap_edges, write_labels, SemiSccReport};
+
+const NONE: u32 = u32::MAX;
+
+/// Union-find over dense indices with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unions the classes of `a` and `b`; returns the surviving root.
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+}
+
+/// Runs the spanning-forest algorithm; same contract as
+/// [`crate::coloring::coloring_scc`].
+pub fn sptree_scc(
+    env: &DiskEnv,
+    edges: &ExtFile<Edge>,
+    nodes: &[u32],
+) -> io::Result<(ExtFile<SccLabel>, SemiSccReport)> {
+    let n = nodes.len();
+    let mut report = SemiSccReport::default();
+    if n == 0 {
+        return Ok((ExtFile::empty(env, "semi-labels")?, report));
+    }
+
+    let remapped = remap_edges(env, edges, nodes)?;
+    let asc = sort_by_key(env, &remapped, "sp-asc", |&(u, _)| u)?;
+    let desc = sort_by_key(env, &remapped, "sp-desc", |&(u, _)| Reverse(u))?;
+    drop(remapped);
+
+    let mut uf = UnionFind::new(n);
+    // Forest state, valid only at union-find representatives.
+    let mut tree_parent = vec![NONE; n]; // parent *node index*, re-find on use
+    let mut depth = vec![0u32; n];
+    let mut chain: Vec<u32> = Vec::new();
+
+    // Unions are bounded by n−1 and every re-hang strictly deepens a
+    // component, so the loop terminates; the cap below is a defensive
+    // backstop that hands pathological inputs to the coloring algorithm
+    // (same contract, same answer) rather than scanning indefinitely.
+    let pass_cap = 4 * (n as u64) + 64;
+    let mut scan_flip = false;
+    loop {
+        if report.edge_passes >= pass_cap {
+            return crate::coloring::coloring_scc(env, edges, nodes);
+        }
+        let file = if scan_flip { &desc } else { &asc };
+        scan_flip = !scan_flip;
+        report.edge_passes += 1;
+        let mut changed = false;
+
+        let mut r = file.reader()?;
+        while let Some((u, v)) = r.next()? {
+            let ru = uf.find(u);
+            let rv = uf.find(v);
+            if ru == rv {
+                continue;
+            }
+            // Is rv an ancestor of ru? Walk ru's root chain (full walk — depth
+            // values may be stale, so we cannot depth-bound it).
+            chain.clear();
+            chain.push(ru);
+            let mut x = ru;
+            let mut is_ancestor = false;
+            loop {
+                let p = tree_parent[x as usize];
+                if p == NONE {
+                    break;
+                }
+                let rp = uf.find(p);
+                if rp == x {
+                    // A self-parent cannot arise (union rewrites the root's
+                    // entries), but a walk must never loop: detach defensively.
+                    debug_assert!(false, "stale self-parent in spanning forest");
+                    tree_parent[x as usize] = NONE;
+                    break;
+                }
+                chain.push(rp);
+                if rp == rv {
+                    is_ancestor = true;
+                    break;
+                }
+                debug_assert!(chain.len() <= n, "forest walk exceeded n: cycle in tree");
+                x = rp;
+            }
+            if is_ancestor {
+                // Contract the cycle: union every class on the path ru..rv.
+                let above = tree_parent[rv as usize];
+                let d = depth[rv as usize];
+                let mut root = ru;
+                for &c in &chain {
+                    root = uf.union(root, c);
+                }
+                tree_parent[root as usize] = above;
+                depth[root as usize] = d;
+                report.rounds += 1;
+                changed = true;
+            } else if depth[rv as usize] < depth[ru as usize] + 1 {
+                // Re-hang rv under ru (deeper position). Safe: rv is not an
+                // ancestor of ru, so no forest cycle can form.
+                tree_parent[rv as usize] = ru;
+                depth[rv as usize] = depth[ru as usize] + 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut scc_of: Vec<u32> = (0..n as u32).map(|i| uf.find(i)).collect();
+    report.n_sccs = scc_of
+        .iter()
+        .enumerate()
+        .filter(|&(i, &r)| r == i as u32)
+        .count() as u64;
+    normalize_min_rep(&mut scc_of);
+    let labels = write_labels(env, nodes, &scc_of)?;
+    Ok((labels, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::IoConfig;
+    use ce_graph::csr::CsrGraph;
+    use ce_graph::labels::same_partition;
+    use ce_graph::tarjan::tarjan_scc;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(1 << 10, 1 << 16)).unwrap()
+    }
+
+    fn run(n: u32, edge_list: &[(u32, u32)]) -> Vec<u32> {
+        let env = env();
+        let edges: Vec<Edge> = edge_list.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let file = env.file_from_slice("e", &edges).unwrap();
+        let nodes: Vec<u32> = (0..n).collect();
+        let (labels, _) = sptree_scc(&env, &file, &nodes).unwrap();
+        let mut rep = vec![0u32; n as usize];
+        let mut r = labels.reader().unwrap();
+        while let Some(l) = r.next().unwrap() {
+            rep[l.node as usize] = l.scc;
+        }
+        rep
+    }
+
+    fn check(n: u32, edge_list: &[(u32, u32)]) {
+        let rep = run(n, edge_list);
+        let edges: Vec<Edge> = edge_list.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+        let t = tarjan_scc(&CsrGraph::from_edges(n as u64, &edges));
+        assert!(
+            same_partition(&rep, &t.comp),
+            "partition mismatch on {edge_list:?}: got {rep:?}, want {:?}",
+            t.comp
+        );
+    }
+
+    #[test]
+    fn basic_shapes() {
+        check(1, &[]);
+        check(4, &[]);
+        check(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        check(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        check(6, &[(5, 4), (4, 3), (3, 2), (2, 1), (1, 0)]);
+        check(3, &[(0, 0), (0, 1), (0, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        check(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_through_cross_edges_needs_rehang() {
+        // A cycle that a naive forward pass will not see as ancestor-closing
+        // until re-hanging reorders the forest: 0->1, 2->1 arrives first as a
+        // cross edge, then 1->2 closes the cycle only after re-hang.
+        check(3, &[(2, 1), (0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn paper_example_graph() {
+        check(
+            13,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 1),
+                (4, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 8),
+                (9, 12),
+            ],
+        );
+    }
+
+    #[test]
+    fn random_graphs_match_tarjan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..40u32);
+            let m = rng.gen_range(0..120usize);
+            let list: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            check(n, &list);
+        }
+    }
+
+    #[test]
+    fn dense_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..10 {
+            let n = 30u32;
+            let m = 400usize;
+            let list: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            check(n, &list);
+        }
+    }
+
+    #[test]
+    fn sparse_node_universe() {
+        let env = env();
+        let edges = env
+            .file_from_slice("e", &[Edge::new(10, 20), Edge::new(20, 10)])
+            .unwrap();
+        let (labels, _) = sptree_scc(&env, &edges, &[10, 20]).unwrap();
+        assert_eq!(
+            labels.read_all().unwrap(),
+            vec![SccLabel::new(10, 10), SccLabel::new(20, 10)]
+        );
+    }
+}

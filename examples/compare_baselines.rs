@@ -1,0 +1,112 @@
+//! Head-to-head comparison of every external SCC algorithm in the workspace
+//! on one graph — a miniature of the paper's Section VIII.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+//!
+//! Runs Ext-SCC, Ext-SCC-Op, DFS-SCC (naive and BRT, under an I/O budget the
+//! way the paper uses its 24-hour limit) and EM-SCC on the same web-like
+//! graph with the same memory budget, and prints a comparison table.
+
+use std::time::Instant;
+
+use contract_expand::dfs_scc::{dfs_scc, DfsMode, DfsSccConfig};
+use contract_expand::em_scc::{em_scc, EmSccConfig};
+use contract_expand::prelude::*;
+
+struct Row {
+    name: &'static str,
+    outcome: String,
+    ios: u64,
+    rand_ios: u64,
+    millis: u128,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = DiskEnv::new_temp(IoConfig::new(4 << 10, 128 << 10))?;
+    println!("generating web-like graph (20k nodes, degree 4)...");
+    let graph = gen::web_like(&env, 20_000, 4.0, 5)?;
+    println!("graph: |V| = {}, |E| = {}\n", graph.n_nodes(), graph.n_edges());
+
+    // Budget stand-in for the paper's 24h limit: generous for Ext-SCC,
+    // hopeless for external DFS.
+    let io_budget = 2_000_000u64;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (name, cfg) in [
+        ("Ext-SCC", ExtSccConfig::baseline()),
+        ("Ext-SCC-Op", ExtSccConfig::optimized()),
+    ] {
+        let before = env.stats().snapshot();
+        let t = Instant::now();
+        let outcome = match ExtScc::new(&env, cfg).run(&graph) {
+            Ok(out) => format!("{} SCCs, {} iters", out.report.n_sccs, out.report.iterations()),
+            Err(e) => format!("{e}"),
+        };
+        let d = env.stats().snapshot().since(&before);
+        rows.push(Row {
+            name,
+            outcome,
+            ios: d.total_ios(),
+            rand_ios: d.random_ios(),
+            millis: t.elapsed().as_millis(),
+        });
+    }
+
+    for (name, mode) in [("DFS-SCC(naive)", DfsMode::Naive), ("DFS-SCC(BRT)", DfsMode::Brt)] {
+        let before = env.stats().snapshot();
+        let t = Instant::now();
+        let cfg = DfsSccConfig {
+            mode,
+            io_limit: Some(io_budget),
+            ..Default::default()
+        };
+        let outcome = match dfs_scc(&env, &graph, &cfg) {
+            Ok((_, r)) => format!("{} SCCs", r.n_sccs),
+            Err(e) => format!("INF ({e})"),
+        };
+        let d = env.stats().snapshot().since(&before);
+        rows.push(Row {
+            name,
+            outcome,
+            ios: d.total_ios(),
+            rand_ios: d.random_ios(),
+            millis: t.elapsed().as_millis(),
+        });
+    }
+
+    {
+        let before = env.stats().snapshot();
+        let t = Instant::now();
+        let outcome = match em_scc(&env, &graph, &EmSccConfig::default()) {
+            Ok((_, r)) => format!("{} SCCs, {} iters", r.n_sccs, r.iterations.len()),
+            Err(e) => format!("DNF ({e})"),
+        };
+        let d = env.stats().snapshot().since(&before);
+        rows.push(Row {
+            name: "EM-SCC",
+            outcome,
+            ios: d.total_ios(),
+            rand_ios: d.random_ios(),
+            millis: t.elapsed().as_millis(),
+        });
+    }
+
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} outcome",
+        "algorithm", "I/Os", "random I/Os", "time(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>10} {:>12} {:>10} {}",
+            r.name, r.ios, r.rand_ios, r.millis, r.outcome
+        );
+    }
+    println!(
+        "\n(the paper's Figures 6-9 shape: Ext-SCC-Op <= Ext-SCC << DFS-SCC;\n\
+         EM-SCC stalls on web-scale SCC structure; DFS variants are dominated\n\
+         by random I/Os)"
+    );
+    Ok(())
+}

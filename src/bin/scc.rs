@@ -1,0 +1,198 @@
+//! `scc` — command-line SCC computation over text or binary edge lists.
+//!
+//! ```text
+//! scc --input graph.txt [--mem 64M] [--block 64K] [--baseline]
+//!     [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]
+//!     [--scratch DIR] [--stats]
+//! ```
+//!
+//! Input: whitespace-separated `src dst` lines (`#`/`%` comments allowed).
+//! Output: `node scc_representative` lines sorted by node. `--condense`
+//! additionally writes the condensation DAG's edge list (computed
+//! externally). The memory budget is honoured end to end: the node set of
+//! the input graph is never loaded into RAM.
+
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use contract_expand::graph::labels::condense_external;
+use contract_expand::prelude::*;
+
+struct Options {
+    input: PathBuf,
+    out: Option<PathBuf>,
+    condense: Option<PathBuf>,
+    export_binary: Option<PathBuf>,
+    scratch: Option<PathBuf>,
+    mem: usize,
+    block: usize,
+    baseline: bool,
+    stats: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: scc --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
+     \x20          [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
+     \x20          [--scratch DIR] [--stats]"
+}
+
+fn parse_size(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1usize << 10),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("bad size {s:?}: {e}"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: PathBuf::new(),
+        out: None,
+        condense: None,
+        export_binary: None,
+        scratch: None,
+        mem: 64 << 20,
+        block: 64 << 10,
+        baseline: false,
+        stats: false,
+    };
+    let mut have_input = false;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--input" => {
+                opts.input = PathBuf::from(value("--input")?);
+                have_input = true;
+            }
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--condense" => opts.condense = Some(PathBuf::from(value("--condense")?)),
+            "--export-binary" => {
+                opts.export_binary = Some(PathBuf::from(value("--export-binary")?))
+            }
+            "--scratch" => opts.scratch = Some(PathBuf::from(value("--scratch")?)),
+            "--mem" => opts.mem = parse_size(&value("--mem")?)?,
+            "--block" => opts.block = parse_size(&value("--block")?)?,
+            "--baseline" => opts.baseline = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !have_input {
+        return Err(format!("--input is required\n{}", usage()));
+    }
+    if opts.mem < 2 * opts.block {
+        return Err("memory budget must be at least two blocks".into());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = IoConfig::new(opts.block, opts.mem);
+    let env = match &opts.scratch {
+        Some(dir) => DiskEnv::new_in(dir, cfg)?,
+        None => DiskEnv::new_temp(cfg)?,
+    };
+
+    // `.ceg` files use the compact binary format; anything else is text.
+    let graph = if opts.input.extension().is_some_and(|e| e == "ceg") {
+        EdgeListGraph::open_binary(&env, &opts.input)?
+    } else {
+        EdgeListGraph::from_text(&env, &opts.input, None)?
+    };
+    eprintln!(
+        "loaded {}: |V| = {}, |E| = {}",
+        opts.input.display(),
+        graph.n_nodes(),
+        graph.n_edges()
+    );
+    if let Some(path) = &opts.export_binary {
+        graph.save_binary(path)?;
+        eprintln!("binary copy written to {}", path.display());
+    }
+    if opts.stats {
+        let s = contract_expand::graph::stats::graph_stats(&env, &graph)?;
+        eprintln!(
+            "avg degree {:.2}, max in/out {}/{}, sources {}, sinks {}, isolated {}, self-loops {}",
+            s.avg_degree(),
+            s.max_in,
+            s.max_out,
+            s.sources,
+            s.sinks,
+            s.isolated,
+            s.self_loops
+        );
+    }
+
+    let cfg = if opts.baseline {
+        ExtSccConfig::baseline()
+    } else {
+        ExtSccConfig::optimized()
+    };
+    let out = ExtScc::new(&env, cfg).run(&graph)?;
+    eprintln!(
+        "{} SCCs in {} contraction iterations, {} block I/Os, {:.2?}",
+        out.report.n_sccs,
+        out.report.iterations(),
+        out.report.total_ios.total_ios(),
+        out.report.total_wall
+    );
+    if opts.stats {
+        eprintln!("{}", out.report);
+    }
+
+    // Stream labels to the output without materializing them.
+    let sink: Box<dyn std::io::Write> = match &opts.out {
+        Some(path) => Box::new(std::fs::File::create(path)?),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut w = BufWriter::new(sink);
+    let mut r = out.labels.reader()?;
+    while let Some(l) = r.next()? {
+        writeln!(w, "{} {}", l.node, l.scc)?;
+    }
+    w.flush()?;
+
+    if let Some(path) = &opts.condense {
+        let dag = condense_external(&env, &graph, &out.labels)?;
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let mut r = dag.edges().reader()?;
+        while let Some(e) = r.next()? {
+            writeln!(w, "{} {}", e.src, e.dst)?;
+        }
+        w.flush()?;
+        eprintln!(
+            "condensation: {} edges written to {}",
+            dag.n_edges(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # contract-expand
+//!
+//! I/O-efficient strongly connected component (SCC) computation for directed
+//! graphs **whose node set does not fit in main memory** — a from-scratch
+//! implementation of *"Contract & Expand: I/O Efficient SCCs Computing"*
+//! (Zhiwei Zhang, Lu Qin, Jeffrey Xu Yu — ICDE 2014), together with every
+//! substrate and baseline its evaluation depends on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use contract_expand::prelude::*;
+//!
+//! // An I/O environment: 4 KiB blocks, 256 KiB of "main memory".
+//! let env = DiskEnv::new_temp(IoConfig::new(4 << 10, 256 << 10)).unwrap();
+//!
+//! // A synthetic web-like graph (20k nodes — node arrays exceed the budget).
+//! let graph = gen::web_like(&env, 20_000, 4.0, 42).unwrap();
+//!
+//! // Run Ext-SCC-Op (contraction + expansion with Section-VII reductions).
+//! let out = ExtScc::new(&env, ExtSccConfig::optimized()).run(&graph).unwrap();
+//! println!("{}", out.report); // per-iteration |V_i|, |E_i|, I/Os ...
+//! assert!(out.report.iterations() >= 1);
+//!
+//! // Labels are an external file of (node, scc-representative), node-sorted.
+//! let labeling = SccLabeling::from_file(&out.labels, graph.n_nodes()).unwrap();
+//! assert_eq!(labeling.rep.len(), 20_000);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`extmem`] | I/O model: counted block files, external sort, merge joins, buffered repository tree |
+//! | [`graph`] | edge-list graphs, CSR, Tarjan/Kosaraju, workload generators |
+//! | [`semi_scc`] | semi-external base case (coloring and spanning-tree variants) |
+//! | [`core`] | **the paper's contribution**: Ext-SCC / Ext-SCC-Op |
+//! | [`dfs_scc`] | external-DFS baseline (naive + BRT) |
+//! | [`em_scc`] | contraction-heuristic baseline with stall detection |
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
+//! reproduction of every table and figure in the paper's evaluation.
+
+pub use ce_core as core;
+pub use ce_dfs_scc as dfs_scc;
+pub use ce_em_scc as em_scc;
+pub use ce_extmem as extmem;
+pub use ce_graph as graph;
+pub use ce_semi_scc as semi_scc;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use ce_core::{ExtScc, ExtSccConfig, ExtSccError, RunReport, SccOutput};
+    pub use ce_extmem::{DiskEnv, IoConfig, IoSnapshot};
+    pub use ce_graph::gen;
+    pub use ce_graph::{CsrGraph, Edge, EdgeListGraph, NodeId, SccLabel, SccLabeling};
+    pub use ce_semi_scc::SemiSccKind;
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of the `scc` command-line binary.
+
+use std::process::Command;
+
+fn scc_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scc"))
+}
+
+#[test]
+fn computes_labels_from_text_input() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+    let out_path = dir.join("labels.txt");
+    let dag_path = dir.join("dag.txt");
+
+    let output = scc_bin()
+        .args(["--input"])
+        .arg(&input)
+        .args(["--mem", "1M", "--block", "4K", "--stats"])
+        .arg("--out")
+        .arg(&out_path)
+        .arg("--condense")
+        .arg(&dag_path)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("2 SCCs"), "stderr: {stderr}");
+    assert!(stderr.contains("avg degree"), "--stats output missing");
+
+    let labels = std::fs::read_to_string(&out_path).unwrap();
+    let rows: Vec<(u32, u32)> = labels
+        .lines()
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            (
+                it.next().unwrap().parse().unwrap(),
+                it.next().unwrap().parse().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].1, rows[1].1);
+    assert_eq!(rows[3].1, rows[4].1);
+    assert_ne!(rows[0].1, rows[3].1);
+
+    let dag = std::fs::read_to_string(&dag_path).unwrap();
+    assert_eq!(dag.lines().count(), 1, "one quotient edge between the SCCs");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_roundtrip_through_cli() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 0\n").unwrap();
+    let ceg = dir.join("g.ceg");
+
+    let first = scc_bin()
+        .arg("--input")
+        .arg(&input)
+        .arg("--export-binary")
+        .arg(&ceg)
+        .output()
+        .unwrap();
+    assert!(first.status.success());
+
+    let second = scc_bin().arg("--input").arg(&ceg).output().unwrap();
+    assert!(second.status.success());
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("1 SCCs"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_arguments() {
+    let no_input = scc_bin().output().unwrap();
+    assert_eq!(no_input.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&no_input.stderr).contains("usage"));
+
+    let unknown = scc_bin().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+
+    let bad_mem = scc_bin()
+        .args(["--input", "/nonexistent", "--mem", "1K", "--block", "4K"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_mem.status.code(), Some(2), "M < 2B must be rejected");
+}
+
+#[test]
+fn missing_input_file_is_reported() {
+    let r = scc_bin()
+        .args(["--input", "/definitely/not/here.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("error"));
+}

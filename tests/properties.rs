@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the paper's core invariants.
+//!
+//! Graph strategy: arbitrary directed multigraphs with up to 64 nodes and
+//! 250 edges (duplicates and self-loops included — the external pipeline must
+//! tolerate both). Each property is checked in both Ext-SCC modes.
+
+use proptest::prelude::*;
+
+use contract_expand::core::invariants::check_contraction;
+use contract_expand::core::{
+    build_orders, get_e, get_v, ExtScc, ExtSccConfig, GetEOptions, GetVOptions, OrderKind,
+};
+use contract_expand::extmem::{sort_by_key, sort_dedup_by_key};
+use contract_expand::graph::csr::CsrGraph;
+use contract_expand::graph::labels::same_partition;
+use contract_expand::graph::tarjan::tarjan_scc;
+use contract_expand::prelude::*;
+
+fn tiny_env() -> DiskEnv {
+    // 256-byte blocks: even 60-node graphs span multiple blocks.
+    DiskEnv::new_temp(IoConfig::new(256, 4 << 10)).unwrap()
+}
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2u32..64).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..250);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, .. ProptestConfig::default()
+    })]
+
+    /// End to end: Ext-SCC equals Tarjan in both modes, on any multigraph.
+    #[test]
+    fn ext_scc_matches_tarjan((n, edge_list) in arb_graph()) {
+        let env = tiny_env();
+        let g = EdgeListGraph::from_slice(&env, n as u64, &edge_list).unwrap();
+        let edges = g.edges_in_memory().unwrap();
+        let t = tarjan_scc(&CsrGraph::from_edges(n as u64, &edges));
+        for cfg in [ExtSccConfig::baseline(), ExtSccConfig::optimized()] {
+            let out = ExtScc::new(&env, cfg).run(&g).unwrap();
+            let lab = SccLabeling::from_file(&out.labels, n as u64).unwrap();
+            prop_assert!(same_partition(&lab.rep, &t.comp));
+            prop_assert_eq!(out.report.n_sccs, t.count as u64);
+            prop_assert!(lab.reps_are_members());
+        }
+    }
+
+    /// One contraction round satisfies contractible/recoverable/preservable
+    /// (Lemmas 5.1-5.3) in baseline mode, and the relaxed variants with
+    /// Type-1 enabled.
+    #[test]
+    fn contraction_invariants_hold((n, edge_list) in arb_graph()) {
+        let env = tiny_env();
+        let g = EdgeListGraph::from_slice(&env, n as u64, &edge_list).unwrap();
+        for (type1, order) in [
+            (false, OrderKind::Degree),
+            (true, OrderKind::DegreeProduct),
+        ] {
+            let orders = build_orders(&env, g.edges(), true).unwrap();
+            let (cover, _) = get_v(&env, &orders, &GetVOptions {
+                order,
+                type1,
+                type2_capacity: 16,
+            }).unwrap();
+            let ge = get_e(&env, &orders, &cover, &GetEOptions {
+                filter_endpoints: type1,
+                drop_self_loops: true,
+            }).unwrap();
+            let violations =
+                check_contraction(n as u64, &orders.ein, &cover, &ge.edges, type1).unwrap();
+            prop_assert!(violations.is_empty(), "type1={}: {:?}", type1, violations);
+        }
+    }
+
+    /// The cover never contains the `>`-smallest incident node (Lemma 5.2's
+    /// witness), so contraction always makes progress.
+    #[test]
+    fn cover_is_strictly_smaller((n, edge_list) in arb_graph()) {
+        prop_assume!(!edge_list.is_empty());
+        let env = tiny_env();
+        let g = EdgeListGraph::from_slice(&env, n as u64, &edge_list).unwrap();
+        let orders = build_orders(&env, g.edges(), true).unwrap();
+        let (cover, _) = get_v(&env, &orders, &GetVOptions::default()).unwrap();
+        let incident: std::collections::HashSet<u32> = edge_list
+            .iter()
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        prop_assert!((cover.len() as usize) < incident.len().max(1));
+    }
+
+    /// External sort sorts, preserves multiplicity; sort+dedup yields the set.
+    #[test]
+    fn sort_laws(mut items in prop::collection::vec(any::<u32>(), 0..400)) {
+        let env = tiny_env();
+        let f = env.file_from_slice("in", &items).unwrap();
+        let sorted = sort_by_key(&env, &f, "s", |&x| x).unwrap().read_all().unwrap();
+        let deduped = sort_dedup_by_key(&env, &f, "d", |&x| x).unwrap().read_all().unwrap();
+        items.sort_unstable();
+        prop_assert_eq!(&sorted, &items);
+        items.dedup();
+        prop_assert_eq!(&deduped, &items);
+    }
+
+    /// BRT behaves like a multimap under insert/extract/retire.
+    #[test]
+    fn brt_model(ops in prop::collection::vec((0u8..3, 0u32..16, any::<u32>()), 1..300)) {
+        use std::collections::HashMap;
+        let env = tiny_env();
+        let mut brt = contract_expand::extmem::brt::Brt::new(&env, "m");
+        let mut model: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut retired: std::collections::HashSet<u32> = Default::default();
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    brt.insert(key, value).unwrap();
+                    if !retired.contains(&key) {
+                        model.entry(key).or_default().push(value);
+                    }
+                    // Items inserted after retirement may be dropped at any
+                    // merge; the DFS client never does this, so the model
+                    // skips them too.
+                }
+                1 => {
+                    let mut got = Vec::new();
+                    brt.extract(key, &mut got).unwrap();
+                    got.sort_unstable();
+                    let mut want = if retired.contains(&key) {
+                        Vec::new()
+                    } else {
+                        model.get(&key).cloned().unwrap_or_default()
+                    };
+                    want.sort_unstable();
+                    if !retired.contains(&key) {
+                        prop_assert_eq!(got, want, "extract({})", key);
+                    }
+                }
+                _ => {
+                    brt.retire(key);
+                    retired.insert(key);
+                    model.remove(&key);
+                }
+            }
+        }
+    }
+}
