@@ -46,11 +46,15 @@ fn parse_size(s: &str) -> Result<usize, String> {
     };
     digits
         .parse::<usize>()
-        .map(|v| v * mult)
         .map_err(|e| format!("bad size {s:?}: {e}"))
+        .and_then(|v| {
+            v.checked_mul(mult)
+                .ok_or_else(|| format!("bad size {s:?}: overflows"))
+        })
 }
 
-fn parse_args() -> Result<Options, String> {
+/// `Ok(None)` means `--help` was requested: print usage and exit 0.
+fn parse_args() -> Result<Option<Options>, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
         input: PathBuf::new(),
@@ -84,17 +88,21 @@ fn parse_args() -> Result<Options, String> {
             "--block" => opts.block = parse_size(&value("--block")?)?,
             "--baseline" => opts.baseline = true,
             "--stats" => opts.stats = true,
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
     if !have_input {
         return Err(format!("--input is required\n{}", usage()));
     }
-    if opts.mem < 2 * opts.block {
-        return Err("memory budget must be at least two blocks".into());
+    if opts.block == 0 {
+        return Err("block size must be nonzero".into());
     }
-    Ok(opts)
+    match opts.block.checked_mul(2) {
+        Some(two_blocks) if opts.mem >= two_blocks => {}
+        _ => return Err("memory budget must be at least two blocks".into()),
+    }
+    Ok(Some(opts))
 }
 
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -182,7 +190,11 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
-        Ok(o) => o,
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);

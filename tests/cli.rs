@@ -94,6 +94,96 @@ fn rejects_bad_arguments() {
 }
 
 #[test]
+fn help_prints_usage_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let r = scc_bin().arg(flag).output().unwrap();
+        assert_eq!(r.status.code(), Some(0), "{flag} must exit 0");
+        assert!(String::from_utf8_lossy(&r.stdout).contains("usage"));
+    }
+}
+
+#[test]
+fn malformed_edge_list_is_reported() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A line with only one endpoint.
+    let truncated = dir.join("truncated.txt");
+    std::fs::write(&truncated, "0 1\n2\n").unwrap();
+    let r = scc_bin().arg("--input").arg(&truncated).output().unwrap();
+    assert_eq!(r.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("error"), "stderr: {stderr}");
+    assert!(stderr.contains("malformed"), "stderr: {stderr}");
+
+    // Non-numeric node ids.
+    let garbage = dir.join("garbage.txt");
+    std::fs::write(&garbage, "alpha beta\n").unwrap();
+    let r = scc_bin().arg("--input").arg(&garbage).output().unwrap();
+    assert_eq!(r.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("error"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_memory_budget_is_rejected() {
+    // M = 0 can never satisfy M >= 2B.
+    let r = scc_bin()
+        .args(["--input", "/irrelevant.txt", "--mem", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("two blocks"));
+
+    // B = 0 sneaks past M >= 2B and must be rejected on its own.
+    let r = scc_bin()
+        .args(["--input", "/irrelevant.txt", "--mem", "0", "--block", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("nonzero"));
+}
+
+#[test]
+fn overflowing_sizes_are_rejected() {
+    // 2 * block would wrap to 0 and sneak past the M >= 2B guard. (On
+    // 32-bit targets the value already fails usize parsing — also exit 2.)
+    let r = scc_bin()
+        .args(["--input", "/x", "--mem", "64M", "--block", "9223372036854775808"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(
+        stderr.contains("two blocks") || stderr.contains("bad size"),
+        "stderr: {stderr}"
+    );
+
+    // usize::MAX kibibytes overflows the suffix multiplier.
+    let r = scc_bin()
+        .args(["--input", "/x", "--mem", "18446744073709551615K"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("overflows"));
+}
+
+#[test]
+fn missing_flag_value_is_rejected() {
+    let r = scc_bin().args(["--input"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("requires a value"));
+
+    let r = scc_bin()
+        .args(["--input", "g.txt", "--mem", "lots"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("bad size"));
+}
+
+#[test]
 fn missing_input_file_is_reported() {
     let r = scc_bin()
         .args(["--input", "/definitely/not/here.txt"])

@@ -1,0 +1,257 @@
+//! Minimal, API-compatible stub of the `criterion` crate for offline builds.
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs a
+//! fixed number of timed iterations (the group's `sample_size`, default 10)
+//! and prints the mean wall-clock time per iteration. `cargo bench` output
+//! is one line per benchmark; no plots or `target/criterion` artifacts.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Unit annotation for reported throughput. Stored but only echoed in the
+/// output line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n))
+            if per_iter > Duration::ZERO =>
+        {
+            format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    match group {
+        Some(g) => println!("{g}/{id}: {per_iter:?}/iter over {} iters{thr}", b.iters),
+        None => println!("{id}: {per_iter:?}/iter over {} iters{thr}", b.iters),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stub's iteration count is fixed by
+    /// `sample_size`, not a time budget.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub does no warm-up tuning.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.to_string(), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(None, &id.to_string(), &b, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        let mut runs = 0usize;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 3 timed + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+}

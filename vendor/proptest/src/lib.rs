@@ -1,0 +1,666 @@
+//! Minimal, API-compatible stub of the `proptest` crate for offline builds.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro with a `#![proptest_config(...)]` header,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! [`strategy::Strategy`] with `prop_flat_map` / `prop_map`, [`strategy::Just`],
+//! [`arbitrary::any`], range and tuple strategies, and
+//! `prop::collection::{vec, btree_map, btree_set}` plus `prop::option::of`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the full generated input.
+//! * **Deterministic RNG.** Each test function derives its stream from the
+//!   `PROPTEST_RNG_SEED` environment variable (default `0xC0FFEE`) and the
+//!   test's own name, so runs are reproducible by construction and no
+//!   failure-persistence files are written.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    use super::*;
+
+    /// Configuration accepted by `#![proptest_config(...)]`. Only `cases`
+    /// is honoured; the other fields exist for source compatibility.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted but unused (no shrinking in the stub).
+        pub max_shrink_iters: u32,
+        /// Accepted but unused (no failure persistence in the stub).
+        pub failure_persistence: Option<()>,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                failure_persistence: None,
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failed with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the input.
+        Reject,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The per-test RNG. Derived deterministically; see the crate docs.
+    pub struct TestRng(pub StdRng);
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    fn base_seed() -> u64 {
+        match std::env::var("PROPTEST_RNG_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be a u64, got {s:?}")),
+            Err(_) => 0xC0FFEE,
+        }
+    }
+
+    /// Drive one property: run `config.cases` cases (rejections don't count
+    /// against the budget, up to a global rejection cap), panic on failure.
+    pub fn run<F>(config: ProptestConfig, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        // Mix the test name into the seed so different properties in one
+        // process see different streams even with the same base seed.
+        let base = base_seed();
+        let mut seed = base;
+        for b in test_name.bytes() {
+            seed = seed.rotate_left(8) ^ u64::from(b) ^ 0x9E37_79B9_7F4A_7C15;
+        }
+        let mut rng = TestRng(StdRng::seed_from_u64(seed));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = config.cases.saturating_mul(16).max(1024);
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest stub: {test_name} rejected {rejected} inputs \
+                             (passed {passed}/{} cases); assume() is too strict",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest stub: {test_name} failed after {passed} passing cases \
+                         (reproduce with PROPTEST_RNG_SEED={base}; no shrinking): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::distributions::uniform::SampleRange;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike upstream there is no value tree or shrinking: a strategy just
+    /// produces a value from the test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> S,
+            S: Strategy,
+        {
+            FlatMap { outer: self, f }
+        }
+
+        fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe boxed strategy.
+    pub struct BoxedStrategy<T>(Box<dyn StrategyObj<Value = T>>);
+
+    trait StrategyObj {
+        type Value;
+        fn generate_obj(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> StrategyObj for S {
+        type Value = S::Value;
+        fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_obj(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        outer: S,
+        f: F,
+    }
+
+    impl<S, F, Inner> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Inner,
+        Inner: Strategy,
+    {
+        type Value = Inner::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let outer = self.outer.generate(rng);
+            (self.f)(outer).generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.clone().sample_single(&mut rng.0)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb(rng: &mut TestRng) -> Self {
+                    rng.0.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.0.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.gen_range(0.0f64..1.0)
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arb(rng: &mut TestRng) -> Self {
+                    ($($name::arb(rng),)+)
+                }
+            }
+        };
+    }
+    impl_arbitrary_tuple!(A);
+    impl_arbitrary_tuple!(A, B);
+    impl_arbitrary_tuple!(A, B, C);
+    impl_arbitrary_tuple!(A, B, C, D);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`, ...).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Collection size specification (`0..250`, `1..=40`, or an exact
+        /// length).
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi_inclusive: n }
+            }
+        }
+
+        impl SizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.lo..=self.hi_inclusive)
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `Vec` of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.pick(rng);
+                let mut map = BTreeMap::new();
+                // Duplicate keys shrink the map; keep drawing (bounded) until
+                // the target is met, as upstream does.
+                let mut budget = target * 32 + 64;
+                while map.len() < target && budget > 0 {
+                    map.insert(self.key.generate(rng), self.value.generate(rng));
+                    budget -= 1;
+                }
+                assert!(
+                    map.len() >= self.size.lo,
+                    "btree_map: key domain too small for requested size {}",
+                    self.size.lo
+                );
+                map
+            }
+        }
+
+        /// `BTreeMap` with `size` entries; keys drawn from `key`.
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy { key, value, size: size.into() }
+        }
+
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.pick(rng);
+                let mut set = BTreeSet::new();
+                let mut budget = target * 32 + 64;
+                while set.len() < target && budget > 0 {
+                    set.insert(self.element.generate(rng));
+                    budget -= 1;
+                }
+                assert!(
+                    set.len() >= self.size.lo,
+                    "btree_set: element domain too small for requested size {}",
+                    self.size.lo
+                );
+                set
+            }
+        }
+
+        /// `BTreeSet` with `size` elements drawn from `element`.
+        pub fn btree_set<S: Strategy>(
+            element: S,
+            size: impl Into<SizeRange>,
+        ) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size: size.into() }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.gen_bool(0.5) {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `Option` that is `Some` about half the time.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The main macro: one or more property test functions, optionally preceded
+/// by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unused_mut)]
+        fn $name() {
+            $crate::test_runner::run($cfg, stringify!($name), |__rng| {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), __rng),)+
+                );
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_each!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!` but aborts only the current case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Like `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+}
+
+/// Reject the current input (does not count against the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_are_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<u32>(), 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn flat_map_and_just((n, v) in (1u32..8).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0..n, 0..16))
+        })) {
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn btree_set_meets_minimum(s in prop::collection::btree_set(0u32..1000, 2..20)) {
+            prop_assert!(s.len() >= 2 && s.len() < 20);
+        }
+
+        #[test]
+        fn options_mix(ops in prop::collection::vec(prop::option::of(any::<u8>()), 1..64)) {
+            prop_assert!(!ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        // Two runs of the same generator sequence agree.
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = crate::prop::collection::vec(crate::arbitrary::any::<u32>(), 5..9);
+        let mut r1 = TestRng(StdRng::seed_from_u64(1));
+        let mut r2 = TestRng(StdRng::seed_from_u64(1));
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
