@@ -67,7 +67,7 @@ struct BoundedDict {
     order: OrderKind,
     cap: usize,
     ids: HashSet<u32>,
-    by_key: BTreeSet<(u64, u64, u32)>,
+    by_key: BTreeSet<(u64, u64, u32, u32)>,
 }
 
 impl BoundedDict {
@@ -95,7 +95,7 @@ impl BoundedDict {
         } else if let Some(&max) = self.by_key.iter().next_back() {
             if sk < max {
                 self.by_key.remove(&max);
-                self.ids.remove(&max.2);
+                self.ids.remove(&max.3);
                 self.by_key.insert(sk);
                 self.ids.insert(k.id);
             }

@@ -51,4 +51,4 @@ pub use expand::{expand, ExpandCounts, LevelFiles};
 pub use get_e::{get_e, GetEOptions, GetEResult};
 pub use get_v::{get_v, CoverStats, GetVOptions};
 pub use ops::{build_orders, EdgeOrders};
-pub use order::{node_greater, NodeKey, OrderKind};
+pub use order::{node_greater, spread, NodeKey, OrderKind};

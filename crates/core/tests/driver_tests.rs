@@ -48,26 +48,25 @@ fn cycle_needs_contraction_and_matches() {
 }
 
 #[test]
-fn sequential_cycle_is_adversarial_for_baseline() {
-    // With sequential ids every cycle node except the global minimum wins
-    // some `>` comparison, so the baseline cover shrinks by ~1 node per
-    // iteration — the slow-progress regime the paper's stop-condition
-    // discussion acknowledges. The Type-2 dictionary of Ext-SCC-Op breaks
-    // the pathology (adjacent winners suppress each other).
+fn sequential_cycle_is_not_adversarial_anymore() {
+    // Historical regression: with the raw-id tie-break, sequential ids made
+    // every cycle node except the global minimum win some `>` comparison,
+    // so the baseline cover shrank by ~1 node per iteration and this exact
+    // configuration hit the 24-iteration cap. The spread tie-break
+    // (`ce_core::spread`) removes the id/topology correlation, so baseline
+    // mode must now converge comfortably — and still agree with Tarjan.
     let env = tight_env();
     let g = gen::cycle(&env, 4000).unwrap();
     let mut cfg = ExtSccConfig::baseline();
     cfg.max_iterations = 24;
-    match ExtScc::new(&env, cfg).run(&g) {
-        Err(ExtSccError::IterationLimit { .. }) => {}
-        other => panic!("expected the adversarial stall, got {other:?}"),
-    }
-    let report = check_matches_tarjan(&env, &g, ExtSccConfig::optimized());
+    let report = check_matches_tarjan(&env, &g, cfg);
     assert!(
         report.iterations() <= 24,
-        "Type-2 must fix the pathology, took {}",
+        "baseline must no longer stall on sequential cycles, took {}",
         report.iterations()
     );
+    let report = check_matches_tarjan(&env, &g, ExtSccConfig::optimized());
+    assert!(report.iterations() <= 24);
 }
 
 #[test]
@@ -229,6 +228,35 @@ fn io_limit_reports_inf() {
     match ExtScc::new(&env, cfg).run(&g) {
         Err(ExtSccError::IoLimitExceeded { .. }) => {}
         other => panic!("expected IoLimitExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn baseline_contracts_uniform_cycles_fast() {
+    // Regression for the ROADMAP open item: with the raw-id tie-break,
+    // baseline-mode Get-V on a uniform cycle removed ~1 node per iteration
+    // (node i+1 dominated node i along every edge) and a 50k-node cycle
+    // aborted at the 256-iteration cap. The spread tie-break must remove a
+    // constant fraction of nodes per iteration instead.
+    let env = DiskEnv::new_temp(IoConfig::new(4 << 10, 64 << 10)).unwrap();
+    let g = gen::cycle(&env, 50_000).unwrap();
+    let out = ExtScc::new(&env, ExtSccConfig::baseline())
+        .run(&g)
+        .expect("baseline must converge on a 50k cycle under a 64K budget");
+    assert_eq!(out.report.n_sccs, 1, "a cycle is one SCC");
+    assert!(
+        out.report.iterations() <= 40,
+        "contraction too slow: {} iterations",
+        out.report.iterations()
+    );
+    for it in &out.report.contraction {
+        assert!(
+            it.removed * 8 >= it.n_nodes,
+            "level {}: removed only {} of {} nodes",
+            it.level,
+            it.removed,
+            it.n_nodes
+        );
     }
 }
 

@@ -1,25 +1,86 @@
-//! Disk environment: owns a scratch directory, the shared I/O counters, and
-//! the fault-injection hook.
+//! Disk environment: owns a scratch namespace, the pager that stores its
+//! blocks, the shared I/O counters, and the fault-injection hook.
 
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::{fs, io};
+
+use ce_pager::{BackendKind, Pager, PhysSnapshot};
 
 use crate::config::IoConfig;
+use crate::file::CountedFile;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::stream::RecordWriter;
 
-/// A handle to a scratch directory in which all external files of one
+/// Storage options of a [`DiskEnv`]: which [`BackendKind`] stores scratch
+/// blocks and how many block frames the buffer pool holds.
+///
+/// The default (`file` backend, no pool) reproduces the seed behaviour
+/// exactly: every logical block access is one physical transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnvOptions {
+    /// Substrate for scratch files.
+    pub backend: BackendKind,
+    /// Buffer-pool capacity in block frames; 0 disables the pool
+    /// (pass-through: nothing is cached and every block of every access is
+    /// a physical transfer — plus a read-modify-write read for writes that
+    /// only partially cover a live block).
+    pub cache_blocks: usize,
+}
+
+impl EnvOptions {
+    /// Seed-faithful mode: on-disk files, no buffer pool.
+    pub fn unpooled() -> EnvOptions {
+        EnvOptions::default()
+    }
+
+    /// On-disk files behind a pool sized from the memory budget (`M / B`
+    /// frames — the buffer pool models the machine's real page cache, which
+    /// the I/O model prices at zero logical cost).
+    pub fn pooled(cfg: &IoConfig) -> EnvOptions {
+        EnvOptions {
+            backend: BackendKind::File,
+            cache_blocks: cfg.blocks_in_memory(),
+        }
+    }
+
+    /// Pure in-memory storage (serving-style workloads, fast tests), with a
+    /// budget-sized pool in front.
+    pub fn mem(cfg: &IoConfig) -> EnvOptions {
+        EnvOptions {
+            backend: BackendKind::Mem,
+            cache_blocks: cfg.blocks_in_memory(),
+        }
+    }
+
+    /// Replaces the backend kind.
+    pub fn with_backend(mut self, backend: BackendKind) -> EnvOptions {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the pool capacity (0 disables the pool).
+    pub fn with_cache_blocks(mut self, cache_blocks: usize) -> EnvOptions {
+        self.cache_blocks = cache_blocks;
+        self
+    }
+}
+
+/// A handle to a scratch namespace in which all external files of one
 /// computation live.
 ///
 /// * cheap to clone (`Arc` inside); every [`crate::ExtFile`] holds a clone so
-///   the directory outlives all files created in it;
-/// * all I/O through files created here is counted in one [`IoStats`];
-/// * supports deterministic fault injection ("fail the N-th block transfer
-///   from now") so tests can verify that every algorithm surfaces I/O errors
-///   instead of panicking or producing truncated results.
+///   the namespace outlives all files created in it;
+/// * all I/O through files created here is counted in one [`IoStats`]
+///   (**logical** model I/Os) and in one [`PhysSnapshot`] (**physical**
+///   backend transfers) — see the crate docs for the distinction;
+/// * blocks live wherever [`EnvOptions::backend`] says, behind an optional
+///   buffer pool ([`EnvOptions::cache_blocks`]);
+/// * supports deterministic fault injection ("fail the N-th *physical* block
+///   transfer from now") so tests can verify that every algorithm surfaces
+///   I/O errors instead of panicking or producing truncated results.
 #[derive(Clone)]
 pub struct DiskEnv {
     inner: Arc<EnvInner>,
@@ -28,53 +89,63 @@ pub struct DiskEnv {
 struct EnvInner {
     root: PathBuf,
     cfg: IoConfig,
+    opts: EnvOptions,
+    pager: Pager,
     stats: Arc<IoStats>,
     next_id: AtomicU64,
     owns_dir: bool,
-    /// Remaining block I/Os until an injected failure; negative = disabled.
-    fault_countdown: AtomicI64,
 }
 
 impl DiskEnv {
-    /// Creates a fresh scratch directory under the system temp dir.
+    /// Creates a fresh scratch directory under the system temp dir, with
+    /// seed-faithful storage ([`EnvOptions::unpooled`]).
     ///
     /// The directory (and everything in it) is removed when the last clone of
     /// this environment is dropped.
     pub fn new_temp(cfg: IoConfig) -> io::Result<DiskEnv> {
+        DiskEnv::new_temp_with(cfg, EnvOptions::unpooled())
+    }
+
+    /// Like [`DiskEnv::new_temp`], with explicit storage options. With the
+    /// in-memory backend no directory is created (the "paths" are pure
+    /// namespace keys).
+    pub fn new_temp_with(cfg: IoConfig, opts: EnvOptions) -> io::Result<DiskEnv> {
         let mut base = std::env::temp_dir();
-        let unique = format!(
-            "ce-scc-{}-{:x}",
-            std::process::id(),
-            fresh_dir_nonce(),
-        );
+        let unique = format!("ce-scc-{}-{:x}", std::process::id(), fresh_dir_nonce());
         base.push(unique);
-        fs::create_dir_all(&base)?;
-        Ok(DiskEnv {
-            inner: Arc::new(EnvInner {
-                root: base,
-                cfg,
-                stats: Arc::new(IoStats::new()),
-                next_id: AtomicU64::new(0),
-                owns_dir: true,
-                fault_countdown: AtomicI64::new(-1),
-            }),
-        })
+        let owns_dir = opts.backend == BackendKind::File;
+        if owns_dir {
+            std::fs::create_dir_all(&base)?;
+        }
+        Ok(DiskEnv::build(base, cfg, opts, owns_dir))
     }
 
     /// Uses an existing directory as scratch space. The directory is *not*
     /// removed on drop; individual scratch files still are.
     pub fn new_in(dir: &Path, cfg: IoConfig) -> io::Result<DiskEnv> {
-        fs::create_dir_all(dir)?;
-        Ok(DiskEnv {
+        DiskEnv::new_in_with(dir, cfg, EnvOptions::unpooled())
+    }
+
+    /// Like [`DiskEnv::new_in`], with explicit storage options.
+    pub fn new_in_with(dir: &Path, cfg: IoConfig, opts: EnvOptions) -> io::Result<DiskEnv> {
+        if opts.backend == BackendKind::File {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(DiskEnv::build(dir.to_path_buf(), cfg, opts, false))
+    }
+
+    fn build(root: PathBuf, cfg: IoConfig, opts: EnvOptions, owns_dir: bool) -> DiskEnv {
+        DiskEnv {
             inner: Arc::new(EnvInner {
-                root: dir.to_path_buf(),
+                root,
+                pager: Pager::new(cfg.block_size, opts.cache_blocks, opts.backend),
                 cfg,
+                opts,
                 stats: Arc::new(IoStats::new()),
                 next_id: AtomicU64::new(0),
-                owns_dir: false,
-                fault_countdown: AtomicI64::new(-1),
+                owns_dir,
             }),
-        })
+        }
     }
 
     /// The I/O-model parameters this environment enforces.
@@ -82,13 +153,30 @@ impl DiskEnv {
         self.inner.cfg
     }
 
-    /// Shared I/O counters for everything created in this environment.
+    /// The storage options this environment was created with.
+    pub fn options(&self) -> EnvOptions {
+        self.inner.opts
+    }
+
+    /// Shared **logical** I/O counters (the paper's "Number of I/Os") for
+    /// everything created in this environment.
     pub fn stats(&self) -> &IoStats {
         &self.inner.stats
     }
 
+    /// **Physical** transfer counters of the underlying pager: blocks that
+    /// actually crossed the backend boundary, plus cache hits and misses.
+    pub fn phys(&self) -> PhysSnapshot {
+        self.inner.pager.phys()
+    }
 
-    /// Root directory of the scratch space.
+    /// The pager storing this environment's blocks.
+    pub(crate) fn pager(&self) -> &Pager {
+        &self.inner.pager
+    }
+
+    /// Root directory of the scratch space (a virtual namespace prefix for
+    /// the in-memory backend).
     pub fn root(&self) -> &Path {
         &self.inner.root
     }
@@ -103,6 +191,20 @@ impl DiskEnv {
             .take(48)
             .collect();
         self.inner.root.join(format!("{id:06}-{safe}.bin"))
+    }
+
+    /// Removes one scratch file from the pager (and, for file-backed
+    /// environments, from the filesystem).
+    pub(crate) fn remove_scratch(&self, path: &Path) {
+        let _ = self.inner.pager.remove(path);
+    }
+
+    /// Creates a raw counted byte file on a fresh scratch path. Most callers
+    /// want the typed [`DiskEnv::writer`] instead; this is the low-level
+    /// surface used by page-level data structures and tests.
+    pub fn raw_file(&self, label: &str) -> io::Result<CountedFile> {
+        let path = self.fresh_path(label);
+        CountedFile::create(self, &path)
     }
 
     /// Opens a typed record writer on a fresh scratch file.
@@ -124,31 +226,32 @@ impl DiskEnv {
         w.finish()
     }
 
-    /// Arranges for the `n`-th block transfer from now (1-based) to fail with
-    /// an injected [`io::Error`]. All subsequent transfers fail too until
-    /// [`DiskEnv::clear_fault`] is called.
+    /// Arranges for the `n`-th **physical** block transfer from now
+    /// (1-based) to fail with an injected [`io::Error`]. All subsequent
+    /// transfers fail too until [`DiskEnv::clear_fault`] is called.
+    ///
+    /// The countdown is consumed once per physical *block*: a multi-block
+    /// access steps it several times, and an unaligned unpooled write steps
+    /// it for its read-modify-write read too (historically it was one step
+    /// per `CountedFile` call — calibrate fault points against
+    /// [`DiskEnv::phys`], not against logical I/O counts). With a buffer
+    /// pool, cache hits move no bytes and therefore do not consume the
+    /// countdown — but every miss fill, eviction write-back, and sync does,
+    /// so a fault can never be skipped by caching alone.
     pub fn inject_fault_after(&self, n: u64) {
-        self.inner
-            .fault_countdown
-            .store(n as i64, Ordering::SeqCst);
+        self.inner.pager.inject_fault_after(n);
     }
 
     /// Disables fault injection.
     pub fn clear_fault(&self) {
-        self.inner.fault_countdown.store(-1, Ordering::SeqCst);
+        self.inner.pager.clear_fault();
     }
 
-    /// Called by the counted-file layer before every block transfer.
+    /// Consumes one step of the fault countdown (the pager calls the same
+    /// hook before every physical transfer).
+    #[cfg(test)]
     pub(crate) fn check_fault(&self) -> io::Result<()> {
-        let prev = self.inner.fault_countdown.load(Ordering::Relaxed);
-        if prev < 0 {
-            return Ok(());
-        }
-        let now = self.inner.fault_countdown.fetch_sub(1, Ordering::SeqCst);
-        if now <= 1 {
-            return Err(io::Error::other("injected I/O fault"));
-        }
-        Ok(())
+        self.inner.pager.check_fault()
     }
 }
 
@@ -157,6 +260,7 @@ impl std::fmt::Debug for DiskEnv {
         f.debug_struct("DiskEnv")
             .field("root", &self.inner.root)
             .field("cfg", &self.inner.cfg)
+            .field("opts", &self.inner.opts)
             .finish()
     }
 }
@@ -164,7 +268,9 @@ impl std::fmt::Debug for DiskEnv {
 impl Drop for EnvInner {
     fn drop(&mut self) {
         if self.owns_dir {
-            let _ = fs::remove_dir_all(&self.root);
+            // The whole directory is about to go: skip write-backs.
+            self.pager.discard_all();
+            let _ = std::fs::remove_dir_all(&self.root);
         }
     }
 }
@@ -195,6 +301,17 @@ mod tests {
     }
 
     #[test]
+    fn mem_env_touches_no_filesystem() {
+        let env =
+            DiskEnv::new_temp_with(IoConfig::small_for_tests(), EnvOptions::mem(&IoConfig::small_for_tests()))
+                .unwrap();
+        assert!(!env.root().exists(), "mem env must not create a directory");
+        let f = env.file_from_slice("m", &[1u32, 2, 3]).unwrap();
+        assert_eq!(f.read_all().unwrap(), vec![1, 2, 3]);
+        assert!(!env.root().exists());
+    }
+
+    #[test]
     fn fresh_paths_are_unique_and_sanitized() {
         let env = DiskEnv::new_temp(IoConfig::small_for_tests()).unwrap();
         let a = env.fresh_path("edges/by src");
@@ -213,5 +330,24 @@ mod tests {
         assert!(env.check_fault().is_err(), "stays failed");
         env.clear_fault();
         assert!(env.check_fault().is_ok());
+    }
+
+    #[test]
+    fn pooled_env_reports_physical_savings() {
+        let cfg = IoConfig::small_for_tests();
+        let env = DiskEnv::new_temp_with(cfg, EnvOptions::pooled(&cfg)).unwrap();
+        let items: Vec<u64> = (0..2048).collect();
+        let f = env.file_from_slice("p", &items).unwrap();
+        for _ in 0..4 {
+            assert_eq!(f.read_all().unwrap().len(), 2048);
+        }
+        let logical = env.stats().snapshot().total_ios();
+        let phys = env.phys();
+        assert!(phys.hits > 0, "rereads must hit the pool: {phys}");
+        assert!(
+            phys.transfers() < logical,
+            "pooled physical transfers ({}) must undercut logical I/Os ({logical})",
+            phys.transfers()
+        );
     }
 }

@@ -1,21 +1,24 @@
 //! Counted block-granular file access.
 //!
-//! [`CountedFile`] is the only place in the workspace that touches
-//! `std::fs::File` for data. Every read/write is accounted in the
-//! environment's [`crate::stats::IoStats`] as `ceil(len / B)` block transfers
+//! [`CountedFile`] is the accounting layer between record streams and the
+//! environment's pager. Every read/write is priced in the environment's
+//! [`crate::stats::IoStats`] as `ceil(len / B)` **logical** block transfers
 //! and classified as sequential (continuing exactly where the previous access
-//! of the same kind on this handle ended) or random.
+//! of the same kind on this handle ended) or random — regardless of whether
+//! the bytes were served from the buffer pool or from the backend. The
+//! *physical* side of the same access (frame fills, write-backs, cache hits)
+//! is counted by the pager itself; see [`crate::DiskEnv::phys`].
 
-use std::fs::{File, OpenOptions};
 use std::io;
-use std::os::unix::fs::FileExt;
 use std::path::Path;
+
+use ce_pager::FileId;
 
 use crate::env::DiskEnv;
 
-/// A file whose block transfers are counted and classified.
+/// A file whose logical block transfers are counted and classified.
 pub struct CountedFile {
-    file: File,
+    id: FileId,
     env: DiskEnv,
     block: u64,
     last_read_end: u64,
@@ -25,30 +28,25 @@ pub struct CountedFile {
 impl CountedFile {
     /// Creates (truncating) a file for writing and reading.
     pub fn create(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        Ok(Self::wrap(env, file))
+        let id = env.pager().create(path)?;
+        Ok(Self::wrap(env, id))
     }
 
     /// Opens an existing file read-only.
     pub fn open_read(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
-        let file = OpenOptions::new().read(true).open(path)?;
-        Ok(Self::wrap(env, file))
+        let id = env.pager().open_read(path)?;
+        Ok(Self::wrap(env, id))
     }
 
     /// Opens an existing file for reading and writing without truncation.
     pub fn open_rw(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        Ok(Self::wrap(env, file))
+        let id = env.pager().open_rw(path)?;
+        Ok(Self::wrap(env, id))
     }
 
-    fn wrap(env: &DiskEnv, file: File) -> CountedFile {
+    fn wrap(env: &DiskEnv, id: FileId) -> CountedFile {
         CountedFile {
-            file,
+            id,
             env: env.clone(),
             block: env.config().block_size as u64,
             last_read_end: u64::MAX, // first access counts as random
@@ -66,15 +64,7 @@ impl CountedFile {
         if buf.is_empty() {
             return Ok(0);
         }
-        self.env.check_fault()?;
-        let mut done = 0;
-        while done < buf.len() {
-            let n = self.file.read_at(&mut buf[done..], offset + done as u64)?;
-            if n == 0 {
-                break;
-            }
-            done += n;
-        }
+        let done = self.env.pager().read_at(self.id, offset, buf)?;
         let sequential = offset == self.last_read_end;
         self.last_read_end = offset + done as u64;
         self.env
@@ -88,8 +78,7 @@ impl CountedFile {
         if buf.is_empty() {
             return Ok(());
         }
-        self.env.check_fault()?;
-        self.file.write_all_at(buf, offset)?;
+        self.env.pager().write_at(self.id, offset, buf)?;
         let sequential = offset == self.last_write_end;
         self.last_write_end = offset + buf.len() as u64;
         self.env
@@ -98,9 +87,15 @@ impl CountedFile {
         Ok(())
     }
 
+    /// Flushes dirty pool frames of this file and syncs its backend. Not
+    /// counted as logical I/O (the model prices transfers, not barriers).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.env.pager().sync(self.id)
+    }
+
     /// Current length of the file in bytes.
     pub fn len_bytes(&self) -> io::Result<u64> {
-        Ok(self.file.metadata()?.len())
+        self.env.pager().len(self.id)
     }
 }
 
@@ -108,6 +103,8 @@ impl CountedFile {
 mod tests {
     use super::*;
     use crate::config::IoConfig;
+    use crate::env::EnvOptions;
+    use ce_pager::BackendKind;
 
     fn env() -> DiskEnv {
         DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap()
@@ -176,5 +173,47 @@ mod tests {
         let err = f.write_at(0, b"boom").unwrap_err();
         assert!(err.to_string().contains("injected"));
         env.clear_fault();
+    }
+
+    #[test]
+    fn logical_counts_identical_across_backends_and_pooling() {
+        // The same access pattern must be priced identically by the model no
+        // matter where the blocks live or whether a pool intervenes.
+        let cfg = IoConfig::new(64, 4096);
+        let mut logical = Vec::new();
+        for opts in [
+            EnvOptions::unpooled(),
+            EnvOptions::unpooled().with_cache_blocks(2),
+            EnvOptions::mem(&cfg),
+        ] {
+            let env = DiskEnv::new_temp_with(cfg, opts).unwrap();
+            let path = env.fresh_path("t");
+            let mut f = CountedFile::create(&env, &path).unwrap();
+            f.write_at(0, &[3u8; 200]).unwrap();
+            f.write_at(64, &[4u8; 64]).unwrap();
+            let mut buf = [0u8; 200];
+            f.read_at(0, &mut buf).unwrap();
+            f.read_at(100, &mut buf[..64]).unwrap();
+            logical.push(env.stats().snapshot());
+        }
+        assert_eq!(logical[0], logical[1]);
+        assert_eq!(logical[0], logical[2]);
+    }
+
+    #[test]
+    fn mem_backend_roundtrips_without_files() {
+        let cfg = IoConfig::new(64, 4096);
+        let env = DiskEnv::new_temp_with(
+            cfg,
+            EnvOptions::default().with_backend(BackendKind::Mem).with_cache_blocks(4),
+        )
+        .unwrap();
+        let path = env.fresh_path("t");
+        let mut f = CountedFile::create(&env, &path).unwrap();
+        f.write_at(0, &[9u8; 300]).unwrap();
+        let mut buf = [0u8; 300];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 300);
+        assert_eq!(buf, [9u8; 300]);
+        assert!(!path.exists(), "no real file behind the mem backend");
     }
 }

@@ -12,6 +12,26 @@
 //!   ([`stats::IoStats`]), which is how the reproduction regenerates the
 //!   "Number of I/Os" axis of the paper's Figures 6–9.
 //!
+//! # Logical vs. physical I/O
+//!
+//! Since the `ce-pager` integration the model counters above are **logical**:
+//! they price every block access at one transfer, exactly as the paper does.
+//! How the bytes actually move is a separate concern, delegated to a
+//! [pager](ce_pager) chosen per [`DiskEnv`] via [`EnvOptions`]: blocks live
+//! on disk ([`BackendKind::File`]) or in memory ([`BackendKind::Mem`]),
+//! optionally behind a fixed-capacity buffer pool with LRU eviction, pin
+//! counts and dirty write-back. The pool's **physical** counters
+//! ([`DiskEnv::phys`]) record backend transfers plus cache hits/misses.
+//!
+//! The figures stay faithful because the logical counters are recorded in
+//! [`file::CountedFile`] *before* the pool is consulted: a cache hit still
+//! costs one logical I/O, a pooled run and an unpooled run of the same
+//! algorithm report identical [`stats::IoSnapshot`]s, and only the physical
+//! numbers (and wall-clock) shrink. Fault injection
+//! ([`DiskEnv::inject_fault_after`]) counts physical transfers, so injected
+//! faults fire where real hardware would fail — on the backend boundary —
+//! and can never be skipped by a cached hit.
+//!
 //! On top of the raw model the crate provides the relational plumbing the
 //! paper's Algorithms 3–5 are written in: typed record files ([`ExtFile`]),
 //! block-buffered readers/writers, merge/semi/anti/lookup joins over sorted
@@ -32,8 +52,9 @@ pub mod sort;
 pub mod stats;
 pub mod stream;
 
+pub use ce_pager::{BackendKind, PhysSnapshot};
 pub use config::IoConfig;
-pub use env::DiskEnv;
+pub use env::{DiskEnv, EnvOptions};
 pub use join::{anti_join, concat, left_lookup_join, lookup_join, merge_union, semi_join, GroupCursor};
 pub use record::Record;
 pub use sort::{dedup_sorted, is_sorted_by_key, sort_by_key, sort_dedup_by_key};

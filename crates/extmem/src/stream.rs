@@ -31,7 +31,7 @@ struct FileInner {
 
 impl Drop for FileInner {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        self.env.remove_scratch(&self.path);
     }
 }
 
@@ -193,7 +193,7 @@ impl<T: Record> Drop for RecordWriter<T> {
     fn drop(&mut self) {
         if !self.finished {
             // Abandoned writer: remove the partial file.
-            let _ = std::fs::remove_file(&self.path);
+            self.env.remove_scratch(&self.path);
         }
     }
 }
@@ -204,6 +204,10 @@ impl<T: Record> Drop for RecordWriter<T> {
 /// surface I/O problems (including injected faults).
 pub struct RecordReader<T: Record> {
     file: CountedFile,
+    /// Keeps the underlying file alive (and un-removed in the pager) even if
+    /// every `ExtFile` clone drops while this reader is still streaming —
+    /// the moral equivalent of POSIX unlink-while-open semantics.
+    _keepalive: Arc<FileInner>,
     buf: Vec<u8>,
     buf_len: usize,
     buf_pos: usize,
@@ -220,6 +224,7 @@ impl<T: Record> RecordReader<T> {
         let file = CountedFile::open_read(env, f.path())?;
         Ok(RecordReader {
             file,
+            _keepalive: Arc::clone(&f.inner),
             buf: vec![0u8; per_block * T::SIZE],
             buf_len: 0,
             buf_pos: 0,
@@ -361,6 +366,23 @@ mod tests {
         // 512 * 4 bytes = 2048 bytes = 32 blocks of 64B; first read random.
         assert_eq!(d.total_ios(), 32);
         assert!(d.rand_reads <= 1);
+    }
+
+    #[test]
+    fn reader_outlives_dropped_file_handles() {
+        // Unlink-while-open semantics: dropping the last ExtFile clone must
+        // not invalidate a reader that is still streaming.
+        let env = env();
+        let f = env.file_from_slice("keep", &(0u32..300).collect::<Vec<_>>()).unwrap();
+        let mut r = f.reader().unwrap();
+        assert_eq!(r.next().unwrap(), Some(0));
+        drop(f);
+        let mut count = 1;
+        while let Some(v) = r.next().unwrap() {
+            assert_eq!(v, count);
+            count += 1;
+        }
+        assert_eq!(count, 300);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 
 use proptest::prelude::*;
 
+use ce_extmem::file::CountedFile;
 use ce_extmem::{
     anti_join, dedup_sorted, is_sorted_by_key, left_lookup_join, lookup_join, merge_union,
-    semi_join, sort_by_key, sort_dedup_by_key, DiskEnv, IoConfig,
+    semi_join, sort_by_key, sort_dedup_by_key, BackendKind, DiskEnv, EnvOptions, IoConfig,
 };
 
 fn tiny_env() -> DiskEnv {
@@ -120,5 +121,78 @@ proptest! {
         let mut want = items.clone();
         want.dedup();
         prop_assert_eq!(got, want);
+    }
+
+    /// The pager acceptance property: for ANY sequence of reads and writes,
+    /// every storage variant (unpooled file, pooled file under heavy
+    /// eviction pressure, pooled in-memory) must produce byte-identical
+    /// file contents, identical read results, and — because the logical
+    /// model counters are priced before the pool is consulted — identical
+    /// `IoStats`.
+    #[test]
+    fn every_storage_variant_agrees(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..600, 1usize..96, any::<u8>()),
+            1..40,
+        )
+    ) {
+        let cfg = IoConfig::new(64, 1024);
+        let variants = [
+            EnvOptions::unpooled(),
+            EnvOptions::unpooled().with_cache_blocks(2), // constant eviction
+            EnvOptions::unpooled().with_cache_blocks(64), // everything resident
+            EnvOptions::default().with_backend(BackendKind::Mem).with_cache_blocks(3),
+        ];
+        let mut files = Vec::new();
+        for opts in variants {
+            let env = DiskEnv::new_temp_with(cfg, opts).unwrap();
+            let path = env.root().join("eq.bin");
+            let f = CountedFile::create(&env, &path).unwrap();
+            files.push((env, f, path, opts));
+        }
+        for &(is_write, offset, len, seed) in &ops {
+            if is_write {
+                let data: Vec<u8> = (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+                for (_, f, _, _) in &mut files {
+                    f.write_at(offset, &data).unwrap();
+                }
+            } else {
+                let mut results = Vec::new();
+                for (_, f, _, _) in &mut files {
+                    let mut buf = vec![0u8; len];
+                    let n = f.read_at(offset, &mut buf).unwrap();
+                    buf.truncate(n);
+                    results.push(buf);
+                }
+                for r in &results[1..] {
+                    prop_assert_eq!(r, &results[0], "read divergence at {}+{}", offset, len);
+                }
+            }
+        }
+        // Identical logical model accounting, no matter the substrate.
+        let base_stats = files[0].0.stats().snapshot();
+        let base_len = files[0].1.len_bytes().unwrap();
+        for (env, f, _, opts) in &files {
+            prop_assert_eq!(env.stats().snapshot(), base_stats, "IoStats diverged: {:?}", opts);
+            prop_assert_eq!(f.len_bytes().unwrap(), base_len);
+        }
+        // Byte-identical contents, both through the pager...
+        let mut images = Vec::new();
+        for (_, f, _, _) in &mut files {
+            let mut img = vec![0u8; base_len as usize];
+            let n = f.read_at(0, &mut img).unwrap();
+            prop_assert_eq!(n as u64, base_len);
+            images.push(img);
+        }
+        for img in &images[1..] {
+            prop_assert_eq!(img, &images[0]);
+        }
+        // ... and on the real filesystem after a sync (file-backed variants).
+        for (_, f, path, opts) in &mut files {
+            if opts.backend == BackendKind::File {
+                f.sync().unwrap();
+                prop_assert_eq!(&std::fs::read(&path).unwrap(), &images[0], "fs divergence: {:?}", opts);
+            }
+        }
     }
 }

@@ -378,11 +378,12 @@ pub fn cycle(env: &DiskEnv, n_nodes: u32) -> io::Result<EdgeListGraph> {
 
 /// A directed cycle over a *random permutation* of `0..n` (one SCC).
 ///
-/// The sequential-id [`cycle`] is adversarial for degree-based vertex-cover
-/// contraction: all degrees tie, so the id tie-break removes only the single
-/// local minimum per iteration. Shuffled ids give the expected ≈ n/3 local
-/// minima per round, which is the regime real graphs (and the paper's
-/// experiments) live in.
+/// The sequential-id [`cycle`] used to be adversarial for degree-based
+/// vertex-cover contraction (all degrees tie, and a raw-id tie-break removes
+/// only the single local minimum per iteration). The contraction order now
+/// breaks ties on a scrambled id (`ce_core::spread`), so both cycle variants
+/// sit in the ≈ n/3-local-minima regime; this permuted variant remains
+/// useful as an id-independent control.
 pub fn permuted_cycle(env: &DiskEnv, n_nodes: u32, seed: u64) -> io::Result<EdgeListGraph> {
     assert!(n_nodes >= 1);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,225 @@
+//! The storage substrate: block-granular backends.
+//!
+//! A backend stores the bytes of exactly one scratch file. All requests the
+//! pool issues are *block-aligned*: `offset` is always a multiple of the
+//! pool's block size and `buf` never spans a block boundary (it may be
+//! shorter than a block at the tail of a file). Backends are byte-exact —
+//! writing `k` bytes at the last block must leave the file `offset + k`
+//! bytes long, so flushed files are never zero-padded past their logical
+//! length.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::str::FromStr;
+
+/// Which substrate a pager allocates for newly created files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// One on-disk file per scratch file (the faithful external-memory path).
+    #[default]
+    File,
+    /// A growable in-memory byte vector per scratch file.
+    Mem,
+}
+
+impl BackendKind {
+    /// Human-readable name, matching the CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::File => "file",
+            BackendKind::Mem => "mem",
+        }
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "file" => Ok(BackendKind::File),
+            "mem" => Ok(BackendKind::Mem),
+            other => Err(format!("unknown backend {other:?} (expected file|mem)")),
+        }
+    }
+}
+
+/// One file's worth of block storage.
+///
+/// Implementations must tolerate reads past the end of the data (returning a
+/// short or zero-length count) and writes that skip blocks (the gap reads
+/// back as zeroes — a hole).
+pub trait BlockBackend: Send {
+    /// Reads up to `buf.len()` bytes at `offset`; returns the number of bytes
+    /// available there. Bytes past the end of the stored data are not
+    /// written; the caller zero-fills.
+    fn read_block(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Writes all of `buf` at `offset`, growing the file as needed.
+    fn write_block(&mut self, offset: u64, buf: &[u8]) -> io::Result<()>;
+
+    /// Forces written data down to the substrate (fsync for files; a no-op
+    /// in memory).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Current length of the stored data in bytes.
+    fn len(&self) -> io::Result<u64>;
+
+    /// True if no byte has been stored yet.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// [`BlockBackend`] over one `std::fs::File`.
+pub struct FileBackend {
+    file: File,
+}
+
+impl FileBackend {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &Path) -> io::Result<FileBackend> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBackend { file })
+    }
+
+    /// Opens an existing file read-only (writes will fail with a permission
+    /// error from the OS).
+    pub fn open_read(path: &Path) -> io::Result<FileBackend> {
+        Ok(FileBackend {
+            file: OpenOptions::new().read(true).open(path)?,
+        })
+    }
+
+    /// Opens an existing file for reading and writing without truncation.
+    pub fn open_rw(path: &Path) -> io::Result<FileBackend> {
+        Ok(FileBackend {
+            file: OpenOptions::new().read(true).write(true).open(path)?,
+        })
+    }
+}
+
+impl BlockBackend for FileBackend {
+    fn read_block(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self.file.read_at(&mut buf[done..], offset + done as u64)?;
+            if n == 0 {
+                break;
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+
+    fn write_block(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all_at(buf, offset)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+/// [`BlockBackend`] over a growable in-memory byte vector.
+#[derive(Default)]
+pub struct MemBackend {
+    data: Vec<u8>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory file.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+}
+
+impl BlockBackend for MemBackend {
+    fn read_block(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let len = self.data.len() as u64;
+        if offset >= len {
+            return Ok(0);
+        }
+        let n = buf.len().min((len - offset) as usize);
+        buf[..n].copy_from_slice(&self.data[offset as usize..offset as usize + n]);
+        Ok(n)
+    }
+
+    fn write_block(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let end = offset as usize + buf.len();
+        if end > self.data.len() {
+            self.data.resize(end, 0); // holes read back as zeroes
+        }
+        self.data[offset as usize..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.data.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parses() {
+        assert_eq!("file".parse::<BackendKind>().unwrap(), BackendKind::File);
+        assert_eq!("mem".parse::<BackendKind>().unwrap(), BackendKind::Mem);
+        assert!("ssd".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Mem.name(), "mem");
+    }
+
+    #[test]
+    fn mem_backend_roundtrip_with_hole() {
+        let mut b = MemBackend::new();
+        b.write_block(8, b"tail").unwrap();
+        assert_eq!(b.len().unwrap(), 12);
+        let mut buf = [0xFFu8; 12];
+        let n = b.read_block(0, &mut buf).unwrap();
+        assert_eq!(n, 12);
+        assert_eq!(&buf[..8], &[0u8; 8], "hole reads back as zeroes");
+        assert_eq!(&buf[8..], b"tail");
+        // Read past EOF is short.
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read_block(10, &mut buf).unwrap(), 2);
+        assert_eq!(b.read_block(100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn file_backend_matches_mem_backend() {
+        let dir = std::env::temp_dir().join(format!("ce-pager-be-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        let mut f = FileBackend::create(&path).unwrap();
+        let mut m = MemBackend::new();
+        for (off, data) in [(0u64, &b"abcd"[..]), (8, b"wxyz"), (2, b"MID")] {
+            f.write_block(off, data).unwrap();
+            m.write_block(off, data).unwrap();
+        }
+        assert_eq!(f.len().unwrap(), m.len().unwrap());
+        let mut bf = [0u8; 16];
+        let mut bm = [0u8; 16];
+        let nf = f.read_block(0, &mut bf).unwrap();
+        let nm = m.read_block(0, &mut bm).unwrap();
+        assert_eq!(nf, nm);
+        assert_eq!(&bf[..nf], &bm[..nm]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

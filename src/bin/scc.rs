@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scc --input graph.txt [--mem 64M] [--block 64K] [--baseline]
+//!     [--backend file|mem] [--cache-blocks N]
 //!     [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]
 //!     [--scratch DIR] [--stats]
 //! ```
@@ -11,6 +12,13 @@
 //! additionally writes the condensation DAG's edge list (computed
 //! externally). The memory budget is honoured end to end: the node set of
 //! the input graph is never loaded into RAM.
+//!
+//! `--backend` picks where scratch blocks live (on disk or in memory) and
+//! `--cache-blocks` sizes the buffer pool in front of it (default: `M / B`
+//! frames; 0 disables the pool). Neither changes the *logical* block-I/O
+//! numbers reported — those count model transfers, as in the paper — but
+//! `--stats` additionally reports the *physical* transfers and the pool's
+//! hit/miss counters.
 
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
@@ -27,12 +35,15 @@ struct Options {
     scratch: Option<PathBuf>,
     mem: usize,
     block: usize,
+    backend: BackendKind,
+    cache_blocks: Option<usize>,
     baseline: bool,
     stats: bool,
 }
 
 fn usage() -> &'static str {
     "usage: scc --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
+     \x20          [--backend file|mem] [--cache-blocks N]\n\
      \x20          [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
      \x20          [--scratch DIR] [--stats]"
 }
@@ -64,6 +75,8 @@ fn parse_args() -> Result<Option<Options>, String> {
         scratch: None,
         mem: 64 << 20,
         block: 64 << 10,
+        backend: BackendKind::File,
+        cache_blocks: None,
         baseline: false,
         stats: false,
     };
@@ -86,6 +99,14 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--scratch" => opts.scratch = Some(PathBuf::from(value("--scratch")?)),
             "--mem" => opts.mem = parse_size(&value("--mem")?)?,
             "--block" => opts.block = parse_size(&value("--block")?)?,
+            "--backend" => opts.backend = value("--backend")?.parse()?,
+            "--cache-blocks" => {
+                let v = value("--cache-blocks")?;
+                opts.cache_blocks = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --cache-blocks {v:?}: {e}"))?,
+                );
+            }
             "--baseline" => opts.baseline = true,
             "--stats" => opts.stats = true,
             "--help" | "-h" => return Ok(None),
@@ -107,9 +128,13 @@ fn parse_args() -> Result<Option<Options>, String> {
 
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = IoConfig::new(opts.block, opts.mem);
+    let env_opts = EnvOptions {
+        backend: opts.backend,
+        cache_blocks: opts.cache_blocks.unwrap_or_else(|| cfg.blocks_in_memory()),
+    };
     let env = match &opts.scratch {
-        Some(dir) => DiskEnv::new_in(dir, cfg)?,
-        None => DiskEnv::new_temp(cfg)?,
+        Some(dir) => DiskEnv::new_in_with(dir, cfg, env_opts)?,
+        None => DiskEnv::new_temp_with(cfg, env_opts)?,
     };
 
     // `.ceg` files use the compact binary format; anything else is text.
@@ -157,6 +182,12 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     );
     if opts.stats {
         eprintln!("{}", out.report);
+        eprintln!(
+            "storage: {} backend, {} cache blocks; {}",
+            env.options().backend.name(),
+            env.options().cache_blocks,
+            env.phys()
+        );
     }
 
     // Stream labels to the output without materializing them.

@@ -31,12 +31,20 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
+//! | [`pager`] | storage substrate: pluggable block backends (file / in-memory) + counted buffer pool (LRU, pins, dirty write-back) |
 //! | [`extmem`] | I/O model: counted block files, external sort, merge joins, buffered repository tree |
 //! | [`graph`] | edge-list graphs, CSR, Tarjan/Kosaraju, workload generators |
 //! | [`semi_scc`] | semi-external base case (coloring and spanning-tree variants) |
 //! | [`core`] | **the paper's contribution**: Ext-SCC / Ext-SCC-Op |
 //! | [`dfs_scc`] | external-DFS baseline (naive + BRT) |
 //! | [`em_scc`] | contraction-heuristic baseline with stall detection |
+//!
+//! The model's **logical** I/O counters (`IoStats`, what the paper's figures
+//! plot) are independent of the storage substrate: pick a backend and a
+//! buffer-pool size per environment via [`prelude::EnvOptions`], read the
+//! **physical** transfer counters via `DiskEnv::phys()`, and the logical
+//! numbers stay bit-for-bit identical while wall-clock and physical
+//! transfers drop.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure in the paper's evaluation.
@@ -46,12 +54,13 @@ pub use ce_dfs_scc as dfs_scc;
 pub use ce_em_scc as em_scc;
 pub use ce_extmem as extmem;
 pub use ce_graph as graph;
+pub use ce_pager as pager;
 pub use ce_semi_scc as semi_scc;
 
 /// The common imports for applications.
 pub mod prelude {
     pub use ce_core::{ExtScc, ExtSccConfig, ExtSccError, RunReport, SccOutput};
-    pub use ce_extmem::{DiskEnv, IoConfig, IoSnapshot};
+    pub use ce_extmem::{BackendKind, DiskEnv, EnvOptions, IoConfig, IoSnapshot, PhysSnapshot};
     pub use ce_graph::gen;
     pub use ce_graph::{CsrGraph, Edge, EdgeListGraph, NodeId, SccLabel, SccLabeling};
     pub use ce_semi_scc::SemiSccKind;

@@ -184,6 +184,75 @@ fn missing_flag_value_is_rejected() {
 }
 
 #[test]
+fn mem_backend_produces_identical_labels_and_reports_cache_stats() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-mem-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+
+    let mut labels = Vec::new();
+    for backend in ["file", "mem"] {
+        let r = scc_bin()
+            .arg("--input")
+            .arg(&input)
+            .args(["--mem", "1M", "--block", "4K", "--backend", backend, "--stats"])
+            .output()
+            .unwrap();
+        assert!(
+            r.status.success(),
+            "--backend {backend} failed: {}",
+            String::from_utf8_lossy(&r.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&r.stderr);
+        assert!(stderr.contains("cache hits"), "--stats must report the pool: {stderr}");
+        assert!(
+            stderr.contains(&format!("{backend} backend")),
+            "--stats must name the backend: {stderr}"
+        );
+        labels.push(String::from_utf8_lossy(&r.stdout).into_owned());
+    }
+    assert_eq!(labels[0], labels[1], "backends must agree on the labeling");
+
+    // An explicit pool size is honoured, and 0 disables the pool.
+    let r = scc_bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--mem", "1M", "--block", "4K", "--cache-blocks", "0", "--stats"])
+        .output()
+        .unwrap();
+    assert!(r.status.success());
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains(", 0 cache blocks;"), "{stderr}");
+    assert!(
+        stderr.contains("; 0 cache hits,"),
+        "pass-through must not hit: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_backend_and_cache_flags_are_rejected() {
+    let r = scc_bin()
+        .args(["--input", "g.txt", "--backend", "tape"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("unknown backend"));
+
+    let r = scc_bin()
+        .args(["--input", "g.txt", "--cache-blocks", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("bad --cache-blocks"));
+
+    let r = scc_bin().args(["--input", "g.txt", "--backend"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("requires a value"));
+}
+
+#[test]
 fn missing_input_file_is_reported() {
     let r = scc_bin()
         .args(["--input", "/definitely/not/here.txt"])
