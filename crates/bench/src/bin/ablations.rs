@@ -12,10 +12,10 @@
 use std::time::Duration;
 
 use ce_bench::figures::{budget_for, BLOCK};
-use ce_bench::runner::{bench_env, human_count, run_dfs, run_ext, RunBudget};
+use ce_bench::runner::{bench_env, human_count, run_algo, RunBudget};
 use ce_bench::Scale;
-use ce_core::{build_orders, get_e, get_v, ExtSccConfig, GetEOptions, GetVOptions, OrderKind};
-use ce_dfs_scc::DfsMode;
+use ce_core::{build_orders, get_e, get_v, ExtSccAlgo, ExtSccConfig, GetEOptions, GetVOptions, OrderKind};
+use ce_dfs_scc::{DfsMode, DfsSccAlgo};
 use ce_graph::gen::{self, Dataset, SyntheticSpec};
 use ce_semi_scc::{semi_scc, SemiSccKind};
 
@@ -71,7 +71,7 @@ fn main() {
         for (name, cfg) in variants {
             let env = bench_env(BLOCK, budget_for(0.5, n as u64));
             let g = gen::planted_scc_graph(&env, &spec).expect("gen");
-            let m = run_ext(&env, &g, cfg, "x", &RunBudget::unlimited());
+            let m = run_algo(&env, &g, &ExtSccAlgo::with_config("x", cfg), &RunBudget::unlimited());
             println!(
                 "  {name:<22} iters={:>3} I/Os={:>9} time={:>8.2?}",
                 m.iterations.unwrap_or(0),
@@ -160,11 +160,10 @@ fn main() {
         let env = bench_env(BLOCK, budget_for(0.5, dn as u64));
         let g = gen::web_like(&env, dn, 4.0, 17).expect("gen");
         for mode in [DfsMode::Naive, DfsMode::Brt] {
-            let m = run_dfs(
+            let m = run_algo(
                 &env,
                 &g,
-                mode,
-                "dfs",
+                &DfsSccAlgo::new(mode),
                 &RunBudget::capped(50_000_000, Duration::from_secs(180)),
             );
             println!(
@@ -185,7 +184,7 @@ fn main() {
             let g = gen::planted_scc_graph(&env, &spec).expect("gen");
             let mut cfg = ExtSccConfig::optimized();
             cfg.type2_capacity = Some(cap);
-            let m = run_ext(&env, &g, cfg, "x", &RunBudget::unlimited());
+            let m = run_algo(&env, &g, &ExtSccAlgo::with_config("x", cfg), &RunBudget::unlimited());
             println!(
                 "  capacity {cap:>6}: iters={:>3} I/Os={:>9} time={:>8.2?}",
                 m.iterations.unwrap_or(0),

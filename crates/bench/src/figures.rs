@@ -3,14 +3,16 @@
 
 use std::time::Duration;
 
-use ce_core::ExtSccConfig;
-use ce_dfs_scc::DfsMode;
+use ce_core::ExtSccAlgo;
+use ce_dfs_scc::{DfsMode, DfsSccAlgo};
+use ce_em_scc::EmSccAlgo;
+use ce_graph::algo::SccAlgorithm;
 use ce_graph::gen::{self, Dataset, PlantedScc, SyntheticSpec};
 use ce_graph::EdgeListGraph;
 use ce_extmem::DiskEnv;
 
 use crate::runner::{
-    bench_env, human_count, run_dfs, run_em, run_ext, Measurement, RunBudget, Scale, SweepTable,
+    bench_env, human_count, run_algo, Measurement, RunBudget, Scale, SweepTable,
 };
 
 /// Block size used by every experiment (the paper's testbed used 256 KiB on
@@ -93,8 +95,25 @@ pub fn table1_text(scale: Scale) -> String {
     out
 }
 
-/// Standard algorithm columns of Figures 6–9.
-const COLS: [&str; 4] = ["Ext-SCC-Op", "Ext-SCC", "DFS-SCC", "EM-SCC"];
+/// Standard algorithm columns of Figures 6–9, labelled by the trait's
+/// `name()` so tables cannot drift from the registry. The first
+/// `n_reference` entries are the Ext-SCC variants: they run without limits
+/// and their most expensive run defines the row's INF budget for the
+/// remaining (baseline) columns.
+struct FigureAlgos {
+    algos: Vec<Box<dyn SccAlgorithm>>,
+    n_reference: usize,
+}
+
+fn figure_algos(dfs_mode: DfsMode) -> FigureAlgos {
+    let reference: Vec<Box<dyn SccAlgorithm>> =
+        vec![Box::new(ExtSccAlgo::optimized()), Box::new(ExtSccAlgo::baseline())];
+    let n_reference = reference.len();
+    let mut algos = reference;
+    algos.push(Box::new(DfsSccAlgo::new(dfs_mode)));
+    algos.push(Box::new(EmSccAlgo::new()));
+    FigureAlgos { algos, n_reference }
+}
 
 /// One x-axis point of a figure: its label, environment (carrying the row's
 /// memory budget) and workload.
@@ -104,24 +123,37 @@ struct Point {
     g: EdgeListGraph,
 }
 
-/// Runs a whole figure. Both Ext variants run first on every point; the
-/// baselines then get one **fixed per-figure budget** — a multiple of the
-/// most expensive Ext-SCC run — the counted-I/O analogue of the paper giving
-/// every algorithm the same 24-hour wall.
-fn run_figure(table: &mut SweepTable, points: Vec<Point>, dfs_mode: DfsMode) {
-    let mut ext: Vec<[Measurement; 2]> = Vec::with_capacity(points.len());
+/// Runs a whole figure. The reference algorithms run first on every point;
+/// the baselines then get one **fixed per-figure budget** — a multiple of
+/// the most expensive reference run — the counted-I/O analogue of the paper
+/// giving every algorithm the same 24-hour wall.
+fn run_figure(
+    title: impl Into<String>,
+    x_label: impl Into<String>,
+    points: Vec<Point>,
+    dfs_mode: DfsMode,
+) -> SweepTable {
+    let fa = figure_algos(dfs_mode);
+    let mut table = SweepTable::for_algos(title, x_label, &fa.algos);
+    let (reference, budgeted) = fa.algos.split_at(fa.n_reference);
+    let mut ref_rows: Vec<Vec<Measurement>> = Vec::with_capacity(points.len());
     for p in &points {
-        let op = run_ext(&p.env, &p.g, ExtSccConfig::optimized(), COLS[0], &RunBudget::unlimited());
-        let base = run_ext(&p.env, &p.g, ExtSccConfig::baseline(), COLS[1], &RunBudget::unlimited());
-        ext.push([op, base]);
+        ref_rows.push(
+            reference
+                .iter()
+                .map(|a| run_algo(&p.env, &p.g, a.as_ref(), &RunBudget::unlimited()))
+                .collect(),
+        );
     }
-    let all: Vec<Measurement> = ext.iter().flat_map(|r| r.iter().cloned()).collect();
+    let all: Vec<Measurement> = ref_rows.iter().flat_map(|r| r.iter().cloned()).collect();
     let budget = inf_budget(&all, 6);
-    for (p, [op, base]) in points.into_iter().zip(ext) {
-        let dfs = run_dfs(&p.env, &p.g, dfs_mode, COLS[2], &budget);
-        let em = run_em(&p.env, &p.g, COLS[3], &budget);
-        table.push_row(p.x, vec![op, base, dfs, em]);
+    for (p, mut row) in points.into_iter().zip(ref_rows) {
+        for a in budgeted {
+            row.push(run_algo(&p.env, &p.g, a.as_ref(), &budget));
+        }
+        table.push_row(p.x, row);
     }
+    table
 }
 
 /// Figure 6 — WEBSPAM substitute, vary the fraction of edges (20%..100%)
@@ -129,14 +161,6 @@ fn run_figure(table: &mut SweepTable, points: Vec<Point>, dfs_mode: DfsMode) {
 pub fn fig6(scale: Scale) -> SweepTable {
     let n = scale.pick(24_000u32, 120_000u32);
     let deg = 8.0;
-    let mut table = SweepTable::new(
-        format!(
-            "Fig. 6 — web-like graph (|V| = {}, avg degree {deg}), vary edge %; M = 0.5|V|",
-            human_count(n as u64)
-        ),
-        "edges %",
-        COLS.to_vec(),
-    );
     let mut points = Vec::new();
     for pct in [20u32, 40, 60, 80, 100] {
         let env = bench_env(BLOCK, budget_for(0.5, n as u64));
@@ -144,8 +168,15 @@ pub fn fig6(scale: Scale) -> SweepTable {
         let g = gen::edge_fraction(&env, &full, pct as f64 / 100.0, 99).expect("fraction");
         points.push(Point { x: format!("{pct}"), env, g });
     }
-    run_figure(&mut table, points, DfsMode::Naive);
-    table
+    run_figure(
+        format!(
+            "Fig. 6 — web-like graph (|V| = {}, avg degree {deg}), vary edge %; M = 0.5|V|",
+            human_count(n as u64)
+        ),
+        "edges %",
+        points,
+        DfsMode::Naive,
+    )
 }
 
 /// Figure 7 — WEBSPAM substitute, vary the memory budget (the paper's
@@ -155,29 +186,35 @@ pub fn fig6(scale: Scale) -> SweepTable {
 pub fn fig7(scale: Scale) -> SweepTable {
     let n = scale.pick(24_000u32, 120_000u32);
     let deg = 8.0;
-    let mut table = SweepTable::new(
-        format!(
-            "Fig. 7 — web-like graph (|V| = {}, avg degree {deg}), vary memory",
-            human_count(n as u64)
-        ),
-        "M / |V|",
-        COLS.to_vec(),
-    );
     let mut points = Vec::new();
     for frac in [0.45, 0.6, 0.75, 0.9, 1.1] {
         let env = bench_env(BLOCK, budget_for(frac, n as u64));
         let g = gen::web_like(&env, n, deg, 4207).expect("gen");
         points.push(Point { x: format!("{frac:.2}"), env, g });
     }
-    run_figure(&mut table, points, DfsMode::Naive);
-    table
+    run_figure(
+        format!(
+            "Fig. 7 — web-like graph (|V| = {}, avg degree {deg}), vary memory",
+            human_count(n as u64)
+        ),
+        "M / |V|",
+        points,
+        DfsMode::Naive,
+    )
 }
 
 /// Figure 8 — Table-I synthetic datasets, vary the memory budget
 /// (panels (a,b) = Massive, (c,d) = Large, (e,f) = Small).
 pub fn fig8(scale: Scale, dataset: Dataset) -> SweepTable {
     let n = scale.pick(30_000u32, 150_000u32);
-    let mut table = SweepTable::new(
+    let mut points = Vec::new();
+    for frac in [0.3, 0.45, 0.6, 0.75, 0.9] {
+        let env = bench_env(BLOCK, budget_for(frac, n as u64));
+        let spec = SyntheticSpec::table1(dataset, n, 4.0, 88);
+        let g = gen::planted_scc_graph(&env, &spec).expect("gen");
+        points.push(Point { x: format!("{frac:.2}"), env, g });
+    }
+    run_figure(
         format!(
             "Fig. 8 ({}) — {} dataset (|V| = {}, D = 4), vary memory",
             match dataset {
@@ -189,17 +226,9 @@ pub fn fig8(scale: Scale, dataset: Dataset) -> SweepTable {
             human_count(n as u64)
         ),
         "M / |V|",
-        COLS.to_vec(),
-    );
-    let mut points = Vec::new();
-    for frac in [0.3, 0.45, 0.6, 0.75, 0.9] {
-        let env = bench_env(BLOCK, budget_for(frac, n as u64));
-        let spec = SyntheticSpec::table1(dataset, n, 4.0, 88);
-        let g = gen::planted_scc_graph(&env, &spec).expect("gen");
-        points.push(Point { x: format!("{frac:.2}"), env, g });
-    }
-    run_figure(&mut table, points, DfsMode::Naive);
-    table
+        points,
+        DfsMode::Naive,
+    )
 }
 
 /// The x-axis of Figure 9.
@@ -292,15 +321,13 @@ pub fn fig9(scale: Scale, axis: Fig9Axis) -> SweepTable {
                 .collect(),
         ),
     };
-    let mut table = SweepTable::new(title, axis_label(axis), COLS.to_vec());
     let mut pts = Vec::new();
     for (x, spec) in points {
         let env = bench_env(BLOCK, budget_for(0.5, spec.n_nodes as u64));
         let g = gen::planted_scc_graph(&env, &spec).expect("gen");
         pts.push(Point { x, env, g });
     }
-    run_figure(&mut table, pts, DfsMode::Naive);
-    table
+    run_figure(title, axis_label(axis), pts, DfsMode::Naive)
 }
 
 fn axis_label(axis: Fig9Axis) -> &'static str {

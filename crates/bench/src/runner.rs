@@ -1,13 +1,16 @@
-//! Shared machinery: run one algorithm on one graph under one budget and
-//! record (outcome, wall time, I/Os); format sweeps as the paper's series.
+//! Shared machinery: run one [`SccAlgorithm`] on one graph under one budget
+//! and record (outcome, wall time, I/Os); format sweeps as the paper's
+//! series.
+//!
+//! All dispatch goes through the unified `SccAlgorithm` trait — there is no
+//! per-algorithm plumbing here, and every table column is labelled by the
+//! trait's `name()` so bench tables and harness reports cannot drift.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use ce_core::{ExtScc, ExtSccConfig, ExtSccError};
-use ce_dfs_scc::{dfs_scc, DfsMode, DfsSccConfig};
-use ce_em_scc::{em_scc, EmSccConfig, EmSccError};
 use ce_extmem::{DiskEnv, IoConfig};
+use ce_graph::algo::{AlgoBudget, AlgoError, SccAlgorithm};
 use ce_graph::EdgeListGraph;
 
 /// How big an experiment to run.
@@ -52,7 +55,7 @@ pub enum Outcome {
 /// One measured cell of a figure.
 #[derive(Debug, Clone)]
 pub struct Measurement {
-    /// Algorithm label.
+    /// Algorithm label (the trait's `name()`).
     pub algo: &'static str,
     /// What happened.
     pub outcome: Outcome,
@@ -131,123 +134,35 @@ pub fn human_count(n: u64) -> String {
     }
 }
 
-/// Runs an Ext-SCC family configuration.
-pub fn run_ext(
+/// Per-run budget standing in for the paper's 24-hour limit (re-exported
+/// from the unified algorithm interface).
+pub type RunBudget = AlgoBudget;
+
+/// Runs any [`SccAlgorithm`] under `budget` and classifies the outcome the
+/// way the paper's tables do: completion, INF (budget exceeded) or DNF
+/// (structural failure). I/Os and wall time are recorded either way.
+pub fn run_algo(
     env: &DiskEnv,
     g: &EdgeListGraph,
-    mut cfg: ExtSccConfig,
-    algo: &'static str,
+    algo: &dyn SccAlgorithm,
     budget: &RunBudget,
 ) -> Measurement {
-    cfg.deadline = budget.deadline;
-    cfg.io_limit = budget.io_limit;
     let before = env.stats().snapshot();
     let t = Instant::now();
-    let result = ExtScc::new(env, cfg).run(g);
+    let result = algo.run_budgeted(env, g, budget);
     let d = env.stats().snapshot().since(&before);
     let (outcome, iterations) = match result {
-        Ok(out) => (Outcome::Ok(out.report.n_sccs), Some(out.report.iterations())),
-        Err(ExtSccError::DeadlineExceeded { .. }) | Err(ExtSccError::IoLimitExceeded { .. }) => {
-            (Outcome::Inf, None)
-        }
+        Ok(run) => (Outcome::Ok(run.n_sccs), run.iterations),
+        Err(AlgoError::Budget(_)) => (Outcome::Inf, None),
         Err(e) => (Outcome::Dnf(e.to_string()), None),
     };
     Measurement {
-        algo,
+        algo: algo.name(),
         outcome,
         ios: d.total_ios(),
         rand_ios: d.random_ios(),
         wall: t.elapsed(),
         iterations,
-    }
-}
-
-/// Runs a DFS-SCC variant.
-pub fn run_dfs(
-    env: &DiskEnv,
-    g: &EdgeListGraph,
-    mode: DfsMode,
-    algo: &'static str,
-    budget: &RunBudget,
-) -> Measurement {
-    let cfg = DfsSccConfig {
-        mode,
-        deadline: budget.deadline,
-        io_limit: budget.io_limit,
-    };
-    let before = env.stats().snapshot();
-    let t = Instant::now();
-    let result = dfs_scc(env, g, &cfg);
-    let d = env.stats().snapshot().since(&before);
-    let outcome = match result {
-        Ok((_, r)) => Outcome::Ok(r.n_sccs),
-        Err(_) => Outcome::Inf,
-    };
-    Measurement {
-        algo,
-        outcome,
-        ios: d.total_ios(),
-        rand_ios: d.random_ios(),
-        wall: t.elapsed(),
-        iterations: None,
-    }
-}
-
-/// Runs the EM-SCC baseline.
-pub fn run_em(
-    env: &DiskEnv,
-    g: &EdgeListGraph,
-    algo: &'static str,
-    budget: &RunBudget,
-) -> Measurement {
-    let cfg = EmSccConfig {
-        deadline: budget.deadline,
-        io_limit: budget.io_limit,
-        ..Default::default()
-    };
-    let before = env.stats().snapshot();
-    let t = Instant::now();
-    let result = em_scc(env, g, &cfg);
-    let d = env.stats().snapshot().since(&before);
-    let outcome = match result {
-        Ok((_, r)) => Outcome::Ok(r.n_sccs),
-        Err(EmSccError::DeadlineExceeded { .. }) | Err(EmSccError::IoLimitExceeded { .. }) => {
-            Outcome::Inf
-        }
-        Err(e) => Outcome::Dnf(e.to_string()),
-    };
-    Measurement {
-        algo,
-        outcome,
-        ios: d.total_ios(),
-        rand_ios: d.random_ios(),
-        wall: t.elapsed(),
-        iterations: None,
-    }
-}
-
-/// Per-run budget standing in for the paper's 24-hour limit.
-#[derive(Debug, Clone, Default)]
-pub struct RunBudget {
-    /// Wall-clock limit.
-    pub deadline: Option<Duration>,
-    /// Block-I/O limit.
-    pub io_limit: Option<u64>,
-}
-
-impl RunBudget {
-    /// No limits.
-    pub fn unlimited() -> RunBudget {
-        RunBudget::default()
-    }
-
-    /// An I/O ceiling (deterministic across machines, preferred for INF
-    /// detection) plus a generous wall-clock backstop.
-    pub fn capped(io_limit: u64, deadline: Duration) -> RunBudget {
-        RunBudget {
-            deadline: Some(deadline),
-            io_limit: Some(io_limit),
-        }
     }
 }
 
@@ -264,7 +179,7 @@ pub struct SweepTable {
     pub title: String,
     /// X-axis label, e.g. "edges %".
     pub x_label: String,
-    /// Algorithm labels, fixed order.
+    /// Algorithm labels, fixed order (taken from `SccAlgorithm::name()`).
     pub algos: Vec<&'static str>,
     /// `(x value, measurements in algo order)`.
     pub rows: Vec<(String, Vec<Measurement>)>,
@@ -279,6 +194,15 @@ impl SweepTable {
             algos,
             rows: Vec::new(),
         }
+    }
+
+    /// Creates an empty table with columns labelled by the given algorithms.
+    pub fn for_algos(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        algos: &[Box<dyn SccAlgorithm>],
+    ) -> Self {
+        SweepTable::new(title, x_label, algos.iter().map(|a| a.name()).collect())
     }
 
     /// Appends one x-axis point.
@@ -323,6 +247,8 @@ impl fmt::Display for SweepTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ce_core::ExtSccAlgo;
+    use ce_dfs_scc::{DfsMode, DfsSccAlgo};
     use ce_graph::gen;
 
     #[test]
@@ -340,11 +266,11 @@ mod tests {
     }
 
     #[test]
-    fn run_ext_measures_and_labels() {
+    fn run_algo_measures_and_labels() {
         let env = bench_env(1 << 12, 1 << 20);
         let g = gen::cycle(&env, 500).unwrap();
-        let m = run_ext(&env, &g, ExtSccConfig::optimized(), "op", &RunBudget::unlimited());
-        assert_eq!(m.algo, "op");
+        let m = run_algo(&env, &g, &ExtSccAlgo::optimized(), &RunBudget::unlimited());
+        assert_eq!(m.algo, "Ext-SCC-Op");
         assert_eq!(m.outcome, Outcome::Ok(1));
         assert!(m.ios > 0);
         assert_eq!(m.iterations, Some(0), "roomy budget: no contraction");
@@ -354,13 +280,13 @@ mod tests {
     fn inf_outcome_from_io_cap() {
         let env = bench_env(1 << 10, 16 << 10);
         let g = gen::permuted_cycle(&env, 3000, 1).unwrap();
-        let m = run_dfs(
+        let m = run_algo(
             &env,
             &g,
-            DfsMode::Naive,
-            "dfs",
+            &DfsSccAlgo::new(DfsMode::Naive),
             &RunBudget::capped(50, Duration::from_secs(60)),
         );
+        assert_eq!(m.algo, "DFS-SCC");
         assert_eq!(m.outcome, Outcome::Inf);
         assert_eq!(m.time_cell(), "INF");
         assert_eq!(m.io_cell(), "INF");
@@ -384,5 +310,13 @@ mod tests {
         assert!(text.contains("(I/Os)"));
         assert!(text.contains("0.25s"));
         assert!(text.contains("1K") || text.contains("1234"));
+    }
+
+    #[test]
+    fn table_columns_from_trait_names() {
+        let algos: Vec<Box<dyn SccAlgorithm>> =
+            vec![Box::new(ExtSccAlgo::optimized()), Box::new(ExtSccAlgo::baseline())];
+        let t = SweepTable::for_algos("t", "x", &algos);
+        assert_eq!(t.algos, vec!["Ext-SCC-Op", "Ext-SCC"]);
     }
 }

@@ -36,6 +36,7 @@
 //! assert!(out.report.iterations() >= 1);
 //! ```
 
+pub mod algo;
 pub mod driver;
 pub mod expand;
 pub mod get_e;
@@ -44,6 +45,7 @@ pub mod invariants;
 pub mod ops;
 pub mod order;
 
+pub use algo::ExtSccAlgo;
 pub use driver::{
     ExpansionStats, ExtScc, ExtSccConfig, ExtSccError, IterationStats, RunReport, SccOutput,
 };

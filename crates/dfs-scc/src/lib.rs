@@ -396,6 +396,55 @@ impl BackwardReader {
     }
 }
 
+/// [`ce_graph::algo::SccAlgorithm`] adapter for the external-DFS baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfsSccAlgo {
+    mode: DfsMode,
+}
+
+impl DfsSccAlgo {
+    /// Wraps the given DFS variant.
+    pub fn new(mode: DfsMode) -> DfsSccAlgo {
+        DfsSccAlgo { mode }
+    }
+
+    /// The wrapped variant.
+    pub fn mode(&self) -> DfsMode {
+        self.mode
+    }
+}
+
+impl ce_graph::algo::SccAlgorithm for DfsSccAlgo {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            DfsMode::Naive => "DFS-SCC",
+            DfsMode::Brt => "DFS-SCC-BRT",
+        }
+    }
+
+    fn solve(
+        &self,
+        env: &DiskEnv,
+        g: &EdgeListGraph,
+        budget: &ce_graph::algo::AlgoBudget,
+    ) -> Result<ce_graph::algo::SccSolution, ce_graph::algo::AlgoError> {
+        let cfg = DfsSccConfig {
+            mode: self.mode,
+            deadline: budget.deadline,
+            io_limit: budget.io_limit,
+        };
+        match dfs_scc(env, g, &cfg) {
+            Ok((labels, report)) => Ok(ce_graph::algo::SccSolution {
+                labels,
+                n_sccs: report.n_sccs,
+                iterations: None,
+            }),
+            Err(DfsSccError::Io(e)) => Err(ce_graph::algo::AlgoError::Io(e)),
+            Err(e) => Err(ce_graph::algo::AlgoError::Budget(e.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -366,6 +366,60 @@ fn contract_chunk(
     Ok((comps, folded))
 }
 
+/// [`ce_graph::algo::SccAlgorithm`] adapter for the EM-SCC baseline.
+///
+/// `may_stall` is true: the heuristic cannot make progress on the paper's
+/// Case-1/Case-2 inputs, which the adapter surfaces as
+/// [`ce_graph::algo::AlgoError::Stalled`] (recorded as DNF by harnesses, as
+/// the paper's tables do).
+#[derive(Debug, Clone, Default)]
+pub struct EmSccAlgo {
+    cfg: EmSccConfig,
+}
+
+impl EmSccAlgo {
+    /// Wraps the default configuration.
+    pub fn new() -> EmSccAlgo {
+        EmSccAlgo::default()
+    }
+}
+
+impl ce_graph::algo::SccAlgorithm for EmSccAlgo {
+    fn name(&self) -> &'static str {
+        "EM-SCC"
+    }
+
+    fn may_stall(&self) -> bool {
+        true
+    }
+
+    fn solve(
+        &self,
+        env: &DiskEnv,
+        g: &EdgeListGraph,
+        budget: &ce_graph::algo::AlgoBudget,
+    ) -> Result<ce_graph::algo::SccSolution, ce_graph::algo::AlgoError> {
+        let cfg = EmSccConfig {
+            deadline: budget.deadline,
+            io_limit: budget.io_limit,
+            ..self.cfg.clone()
+        };
+        match em_scc(env, g, &cfg) {
+            Ok((labels, report)) => Ok(ce_graph::algo::SccSolution {
+                labels,
+                n_sccs: report.n_sccs,
+                iterations: Some(report.iterations.len()),
+            }),
+            Err(EmSccError::Io(e)) => Err(ce_graph::algo::AlgoError::Io(e)),
+            Err(e @ EmSccError::DeadlineExceeded { .. })
+            | Err(e @ EmSccError::IoLimitExceeded { .. }) => {
+                Err(ce_graph::algo::AlgoError::Budget(e.to_string()))
+            }
+            Err(e) => Err(ce_graph::algo::AlgoError::Stalled(e.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

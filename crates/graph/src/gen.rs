@@ -317,6 +317,149 @@ pub fn web_like(env: &DiskEnv, n_nodes: u32, avg_degree: f64, seed: u64) -> io::
     })
 }
 
+/// Parameters of an R-MAT (recursive-matrix) generator run — the standard
+/// power-law graph family (Chakrabarti, Zhan & Faloutsos, SDM'04) used by the
+/// Graph500 benchmark and by the parallel-SCC literature the conformance
+/// matrix cross-checks against.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatSpec {
+    /// log2 of the node count: `|V| = 1 << scale`.
+    pub scale: u32,
+    /// Number of edges to emit (duplicates kept, self-loops skipped).
+    pub edges: u64,
+    /// Probability of the top-left quadrant (hub→hub).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatSpec {
+    /// The Graph500 defaults (`a,b,c,d = 0.57, 0.19, 0.19, 0.05`) at the
+    /// given scale with `edge_factor · |V|` edges.
+    pub fn graph500(scale: u32, edge_factor: u64, seed: u64) -> RmatSpec {
+        RmatSpec {
+            scale,
+            edges: edge_factor << scale,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
+    }
+}
+
+/// Generates an R-MAT graph: each edge picks a quadrant of the adjacency
+/// matrix with probabilities `(a, b, c, 1-a-b-c)` recursively `scale` times.
+/// Out-degrees are heavy-tailed; the largest SCC grows with density, giving
+/// the matrix a power-law family that none of the structured generators
+/// cover. Self-loops are skipped (redrawn), parallel edges kept.
+pub fn rmat(env: &DiskEnv, spec: &RmatSpec) -> io::Result<EdgeListGraph> {
+    assert!(spec.scale >= 1 && spec.scale < 32, "scale must be in 1..32");
+    let d = 1.0 - spec.a - spec.b - spec.c;
+    assert!(
+        spec.a > 0.0 && spec.b >= 0.0 && spec.c >= 0.0 && d > 0.0,
+        "quadrant probabilities must be a valid distribution"
+    );
+    // With b = c = 0 every level picks a diagonal quadrant, so u == v for
+    // every draw and the self-loop redraw below would loop forever.
+    assert!(
+        spec.b + spec.c > 0.0,
+        "at least one off-diagonal quadrant probability must be positive"
+    );
+    let n: u32 = 1 << spec.scale;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    EdgeListGraph::from_writer(env, n as u64, "rmat", |w| {
+        let mut emitted = 0u64;
+        while emitted < spec.edges {
+            let (mut u, mut v) = (0u32, 0u32);
+            for _ in 0..spec.scale {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                let (du, dv) = if r < spec.a {
+                    (0, 0)
+                } else if r < spec.a + spec.b {
+                    (0, 1)
+                } else if r < spec.a + spec.b + spec.c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            if u == v {
+                continue; // redraw self-loops
+            }
+            w.push(Edge::new(u, v))?;
+            emitted += 1;
+        }
+        Ok(())
+    })
+}
+
+/// Generates a chain of *nested-cycle* components: each component is built
+/// recursively — a ring of `fanout` copies of the previous level, so cycles
+/// nest inside cycles `depth` deep — and `chain` such components are linked
+/// by forward-only edges.
+///
+/// The construction is fully deterministic (no RNG). Every component is one
+/// SCC of `fanout^depth` nodes, so the graph has exactly `chain` non-trivial
+/// SCCs; edge counts are closed-form (see the unit test). Degrees are nearly
+/// uniform (most nodes have in/out degree 1, sub-block representatives one
+/// more), which makes the family adversarial for degree-ordered vertex-cover
+/// contraction — few local minima per iteration, many contraction levels.
+pub fn nested_cycles(
+    env: &DiskEnv,
+    chain: u32,
+    depth: u32,
+    fanout: u32,
+) -> io::Result<EdgeListGraph> {
+    assert!(chain >= 1 && depth >= 1 && fanout >= 2);
+    let block: u64 = (fanout as u64)
+        .checked_pow(depth)
+        .expect("fanout^depth overflows");
+    let n = chain as u64 * block;
+    assert!(n <= u32::MAX as u64, "graph too large for u32 node ids");
+
+    // Emits the edges of one nested block occupying ids [base, base+fanout^k)
+    // by recursing into its fanout sub-blocks and closing a ring over their
+    // first nodes.
+    fn emit(
+        w: &mut ce_extmem::RecordWriter<Edge>,
+        base: u32,
+        k: u32,
+        fanout: u32,
+    ) -> io::Result<()> {
+        if k == 0 {
+            return Ok(());
+        }
+        let sub = fanout.pow(k - 1);
+        for i in 0..fanout {
+            emit(w, base + i * sub, k - 1, fanout)?;
+        }
+        for i in 0..fanout {
+            let from = base + i * sub;
+            let to = base + ((i + 1) % fanout) * sub;
+            w.push(Edge::new(from, to))?;
+        }
+        Ok(())
+    }
+
+    EdgeListGraph::from_writer(env, n, "nested", |w| {
+        for b in 0..chain {
+            emit(w, b * block as u32, depth, fanout)?;
+        }
+        // Forward-only connectors keep the chain acyclic between blocks.
+        for b in 0..chain.saturating_sub(1) {
+            w.push(Edge::new(b * block as u32, (b + 1) * block as u32))?;
+        }
+        Ok(())
+    })
+}
+
 /// Uniform random directed multigraph with `m` edges (self-loops skipped).
 pub fn random_gnm(env: &DiskEnv, n_nodes: u32, m: u64, seed: u64) -> io::Result<EdgeListGraph> {
     assert!(n_nodes >= 2);
@@ -571,6 +714,63 @@ mod tests {
         let edges = dc.edges_in_memory().unwrap();
         let r = tarjan_scc(&CsrGraph::from_edges(7, &edges));
         assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn rmat_pins_counts_for_fixed_seed() {
+        let env = env();
+        let spec = RmatSpec::graph500(8, 4, 42);
+        let g = rmat(&env, &spec).unwrap();
+        assert_eq!(g.n_nodes(), 256);
+        assert_eq!(g.n_edges(), 1024, "edge target is exact (duplicates kept)");
+        let edges = g.edges_in_memory().unwrap();
+        assert!(edges.iter().all(|e| !e.is_loop()), "self-loops are redrawn");
+        let r = tarjan_scc(&CsrGraph::from_edges(256, &edges));
+        // Oracle SCC structure pinned for seed 42: a giant power-law core
+        // plus singleton leaves. Both numbers are deterministic (StdRng).
+        assert_eq!(r.count, 133);
+        assert_eq!(r.component_sizes()[0], 124);
+        // Power-law shape: the max out-degree dwarfs the average (4).
+        let mut out = vec![0u32; 256];
+        for e in &edges {
+            out[e.src as usize] += 1;
+        }
+        assert!(*out.iter().max().unwrap() >= 32, "heavy tail expected");
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let env = env();
+        let spec = RmatSpec::graph500(6, 4, 7);
+        let a = rmat(&env, &spec).unwrap().edges_in_memory().unwrap();
+        let b = rmat(&env, &spec).unwrap().edges_in_memory().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_cycles_pins_counts_and_oracle_sccs() {
+        let env = env();
+        let g = nested_cycles(&env, 3, 3, 4).unwrap();
+        // |V| = chain * fanout^depth = 3 * 64.
+        assert_eq!(g.n_nodes(), 192);
+        // Per block: e(k) = fanout*e(k-1) + fanout => e(3) = 84; plus the
+        // chain-1 = 2 forward connectors.
+        assert_eq!(g.n_edges(), 3 * 84 + 2);
+        let edges = g.edges_in_memory().unwrap();
+        let r = tarjan_scc(&CsrGraph::from_edges(192, &edges));
+        assert_eq!(r.count, 3, "each nested block is exactly one SCC");
+        assert_eq!(r.component_sizes(), vec![64, 64, 64]);
+    }
+
+    #[test]
+    fn nested_cycles_depth_one_is_a_plain_cycle() {
+        let env = env();
+        let g = nested_cycles(&env, 1, 1, 5).unwrap();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 5);
+        let edges = g.edges_in_memory().unwrap();
+        let r = tarjan_scc(&CsrGraph::from_edges(5, &edges));
+        assert_eq!(r.count, 1);
     }
 
     #[test]

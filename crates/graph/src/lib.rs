@@ -2,6 +2,10 @@
 //!
 //! Provides:
 //!
+//! * [`algo`] — the unified [`algo::SccAlgorithm`] trait every SCC engine in
+//!   the workspace implements (plus the in-memory Tarjan/Kosaraju oracles),
+//!   the interface the conformance harness and the bench tables dispatch
+//!   through;
 //! * [`types`] — node ids, the on-disk [`types::Edge`] record and the
 //!   [`types::SccLabel`] record `(node, scc)` shared by every algorithm;
 //! * [`edgelist`] — [`edgelist::EdgeListGraph`]: a directed graph stored as an
@@ -20,6 +24,7 @@
 //! * [`stats`] — external graph statistics (degree distribution,
 //!   sources/sinks/isolated counts) in `O(sort(|E|))` I/Os.
 
+pub mod algo;
 pub mod csr;
 pub mod edgelist;
 pub mod gen;
@@ -29,6 +34,7 @@ pub mod stats;
 pub mod tarjan;
 pub mod types;
 
+pub use algo::{AlgoBudget, AlgoError, KosarajuOracle, SccAlgorithm, SccRun, SccSolution, TarjanOracle};
 pub use csr::CsrGraph;
 pub use edgelist::EdgeListGraph;
 pub use labels::SccLabeling;

@@ -1,0 +1,702 @@
+//! Differential conformance harness for every SCC engine in the workspace.
+//!
+//! The paper's claim is that Ext-SCC / Ext-SCC-Op compute the *same* SCC
+//! partition as classical algorithms at a fraction of the I/O. This crate
+//! turns that claim into a test: a **scenario matrix** sweeping
+//! {workload family × memory budget × storage backend × buffer-pool size ×
+//! fault-injection point}, running every registered
+//! [`SccAlgorithm`](ce_graph::algo::SccAlgorithm) on every cell and
+//! asserting
+//!
+//! 1. **partition equivalence** — each algorithm's labeling, canonicalized
+//!    by [`normalize_partition`], equals the in-memory Tarjan oracle's;
+//! 2. **logical-I/O determinism** — the logical block-I/O count of a run
+//!    depends only on (workload, budget, algorithm), never on which backend
+//!    or pool the blocks lived in;
+//! 3. **invariants** — label files are dense and node-sorted,
+//!    representatives are members of their own component, reported SCC
+//!    counts match the labeling;
+//! 4. **fault surfacing** — with an injected physical-transfer fault every
+//!    algorithm returns an error instead of panicking or mislabeling.
+//!
+//! Algorithms whose [`may_stall`](ce_graph::algo::SccAlgorithm::may_stall)
+//! is true (EM-SCC) may record a DNF instead of a labeling, as in the
+//! paper's tables.
+//!
+//! The matrix is exposed three ways: `scc verify --scale smoke|full` on the
+//! CLI, the root `tests/conformance.rs` suite (scale picked by the
+//! `HARNESS_SCALE` env var), and [`verify_graph`] as a one-graph entry point
+//! for property tests.
+//!
+//! Adding an engine: implement `SccAlgorithm` in its crate, push it in
+//! [`registry`] (or [`full_registry`] for expensive variants), and every
+//! surface above picks it up.
+//!
+//! ```
+//! use ce_extmem::{DiskEnv, IoConfig};
+//! use ce_graph::gen;
+//!
+//! let env = DiskEnv::new_temp(IoConfig::new(512, 8 << 10)).unwrap();
+//! let g = gen::disjoint_cycles(&env, &[5, 7]).unwrap();
+//! let verdicts = ce_harness::verify_graph(&env, &g).unwrap();
+//! assert_eq!(verdicts.len(), ce_harness::registry().len());
+//! assert!(verdicts.iter().all(|v| v.ok()), "{verdicts:?}");
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io;
+
+use ce_core::ExtSccAlgo;
+use ce_dfs_scc::{DfsMode, DfsSccAlgo};
+use ce_em_scc::EmSccAlgo;
+use ce_extmem::{BackendKind, DiskEnv, EnvOptions, IoConfig};
+use ce_graph::algo::{AlgoError, SccAlgorithm};
+use ce_graph::{gen, EdgeListGraph};
+use ce_semi_scc::{SemiSccAlgo, SemiSccKind};
+
+/// How big a matrix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessScale {
+    /// Sub-thousand-node workloads; fast enough for tier-1 CI.
+    Smoke,
+    /// Larger workloads, the roomy-memory regime and the extended registry.
+    Full,
+}
+
+impl HarnessScale {
+    /// Parses `smoke` / `full`.
+    pub fn parse(s: &str) -> Option<HarnessScale> {
+        match s {
+            "smoke" => Some(HarnessScale::Smoke),
+            "full" => Some(HarnessScale::Full),
+            _ => None,
+        }
+    }
+
+    /// Reads the `HARNESS_SCALE` environment variable (default: smoke).
+    ///
+    /// # Panics
+    ///
+    /// On an unrecognized value — a typo like `HARNESS_SCALE=Full` must not
+    /// silently downgrade the sweep to smoke and report green.
+    pub fn from_env() -> HarnessScale {
+        match std::env::var("HARNESS_SCALE") {
+            Ok(v) => HarnessScale::parse(&v)
+                .unwrap_or_else(|| panic!("bad HARNESS_SCALE {v:?}; use smoke|full")),
+            Err(_) => HarnessScale::Smoke,
+        }
+    }
+
+    /// Lowercase name for report headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HarnessScale::Smoke => "smoke",
+            HarnessScale::Full => "full",
+        }
+    }
+
+    /// Picks `s` under `Smoke` and `f` under `Full`.
+    fn pick<T>(&self, s: T, f: T) -> T {
+        match self {
+            HarnessScale::Smoke => s,
+            HarnessScale::Full => f,
+        }
+    }
+}
+
+/// The standard registry: the five external engines of the paper's
+/// evaluation plus the two in-memory oracles. Order is the column order of
+/// every report.
+pub fn registry() -> Vec<Box<dyn SccAlgorithm>> {
+    vec![
+        Box::new(ce_graph::TarjanOracle),
+        Box::new(ce_graph::KosarajuOracle),
+        Box::new(ExtSccAlgo::baseline()),
+        Box::new(ExtSccAlgo::optimized()),
+        Box::new(SemiSccAlgo::new(SemiSccKind::Coloring)),
+        Box::new(DfsSccAlgo::new(DfsMode::Naive)),
+        Box::new(EmSccAlgo::new()),
+    ]
+}
+
+/// The extended registry run at full scale: [`registry`] plus the expensive
+/// variants (BRT-based DFS, spanning-tree semi-external).
+pub fn full_registry() -> Vec<Box<dyn SccAlgorithm>> {
+    let mut algos = registry();
+    algos.push(Box::new(DfsSccAlgo::new(DfsMode::Brt)));
+    algos.push(Box::new(SemiSccAlgo::new(SemiSccKind::SpanningTree)));
+    algos
+}
+
+/// Canonicalizes a dense representative vector: every component is renamed
+/// to its **minimum member id**, so two labelings describe the same
+/// partition iff their normalized forms are equal.
+pub fn normalize_partition(rep: &[u32]) -> Vec<u32> {
+    let mut min_of: HashMap<u32, u32> = HashMap::new();
+    for (v, &r) in rep.iter().enumerate() {
+        // First occurrence = minimum member, since v ascends.
+        min_of.entry(r).or_insert(v as u32);
+    }
+    rep.iter().map(|r| min_of[r]).collect()
+}
+
+/// What one algorithm did on one scenario cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Completed and passed every check.
+    Pass {
+        /// SCCs found.
+        n_sccs: u64,
+        /// Logical block I/Os consumed.
+        ios: u64,
+    },
+    /// Stalled structurally — tolerated for `may_stall` algorithms (EM-SCC).
+    Dnf,
+    /// Wrong partition, broken invariant, or unexpected error.
+    Fail,
+}
+
+impl fmt::Display for CellOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellOutcome::Pass { n_sccs, ios } => write!(f, "{n_sccs}/{ios}"),
+            CellOutcome::Dnf => write!(f, "DNF"),
+            CellOutcome::Fail => write!(f, "FAIL"),
+        }
+    }
+}
+
+/// One algorithm's verdict on one graph.
+#[derive(Debug, Clone)]
+pub struct AlgoVerdict {
+    /// Algorithm display name (from [`SccAlgorithm::name`]).
+    pub algo: &'static str,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Failure description, present iff `outcome` is [`CellOutcome::Fail`].
+    pub detail: Option<String>,
+}
+
+impl AlgoVerdict {
+    /// True unless the algorithm failed a check (DNFs count as ok).
+    pub fn ok(&self) -> bool {
+        !matches!(self.outcome, CellOutcome::Fail)
+    }
+}
+
+/// Runs every algorithm of the standard [`registry`] on `g` and checks each
+/// against the in-memory Tarjan oracle — the single-graph harness entry
+/// point used by the property tests and the doctest above.
+pub fn verify_graph(env: &DiskEnv, g: &EdgeListGraph) -> io::Result<Vec<AlgoVerdict>> {
+    verify_graph_with(env, g, &registry())
+}
+
+/// [`verify_graph`] over an explicit algorithm list (column order kept).
+/// The first algorithm must be the oracle the others are compared against.
+pub fn verify_graph_with(
+    env: &DiskEnv,
+    g: &EdgeListGraph,
+    algos: &[Box<dyn SccAlgorithm>],
+) -> io::Result<Vec<AlgoVerdict>> {
+    let oracle = algos
+        .first()
+        .ok_or_else(|| io::Error::other("empty algorithm list"))?;
+    let oracle_run = oracle
+        .run(env, g)
+        .map_err(|e| io::Error::other(format!("oracle {} failed: {e}", oracle.name())))?;
+    let oracle_norm = normalize_partition(&oracle_run.labeling(g.n_nodes())?.rep);
+    let oracle_sccs = oracle_run.n_sccs;
+
+    let mut verdicts = vec![AlgoVerdict {
+        algo: oracle.name(),
+        outcome: CellOutcome::Pass {
+            n_sccs: oracle_sccs,
+            ios: oracle_run.ios.total_ios(),
+        },
+        detail: None,
+    }];
+    for algo in &algos[1..] {
+        verdicts.push(check_one(env, g, algo.as_ref(), &oracle_norm, oracle_sccs));
+    }
+    Ok(verdicts)
+}
+
+/// Runs one algorithm and grades it against the oracle partition.
+fn check_one(
+    env: &DiskEnv,
+    g: &EdgeListGraph,
+    algo: &dyn SccAlgorithm,
+    oracle_norm: &[u32],
+    oracle_sccs: u64,
+) -> AlgoVerdict {
+    let fail = |detail: String| AlgoVerdict {
+        algo: algo.name(),
+        outcome: CellOutcome::Fail,
+        detail: Some(detail),
+    };
+    let run = match algo.run(env, g) {
+        Ok(run) => run,
+        Err(AlgoError::Stalled(why)) if algo.may_stall() => {
+            return AlgoVerdict {
+                algo: algo.name(),
+                outcome: CellOutcome::Dnf,
+                detail: Some(why),
+            }
+        }
+        Err(e) => return fail(format!("unexpected error: {e}")),
+    };
+    // Invariant: dense, node-sorted label file.
+    let lab = match run.labeling(g.n_nodes()) {
+        Ok(lab) => lab,
+        Err(e) => return fail(format!("bad label file: {e}")),
+    };
+    // Invariant: representatives are members of their own component.
+    if !lab.reps_are_members() {
+        return fail("representative not a member of its component".into());
+    }
+    // Invariant: the reported SCC count matches the labeling.
+    if lab.n_sccs() as u64 != run.n_sccs {
+        return fail(format!(
+            "reported {} SCCs but the labeling has {}",
+            run.n_sccs,
+            lab.n_sccs()
+        ));
+    }
+    // Equivalence with the oracle, up to component renaming.
+    if run.n_sccs != oracle_sccs {
+        return fail(format!("found {} SCCs, oracle found {oracle_sccs}", run.n_sccs));
+    }
+    if normalize_partition(&lab.rep) != oracle_norm {
+        return fail("partition differs from the oracle's".into());
+    }
+    AlgoVerdict {
+        algo: algo.name(),
+        outcome: CellOutcome::Pass {
+            n_sccs: run.n_sccs,
+            ios: run.ios.total_ios(),
+        },
+        detail: None,
+    }
+}
+
+/// One workload family of the matrix: a named deterministic generator plus
+/// its closed-form node count (memory budgets are sized from it *before*
+/// generating; [`run_matrix`] asserts the two agree so they cannot drift).
+struct Workload {
+    name: &'static str,
+    n_nodes: fn(HarnessScale) -> u64,
+    build: fn(&DiskEnv, HarnessScale) -> io::Result<EdgeListGraph>,
+}
+
+/// The matrix's workload families (deterministic seeds; sizes scale with
+/// [`HarnessScale`]).
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "cycle",
+            n_nodes: |s| s.pick(400, 4000),
+            build: |env, s| gen::permuted_cycle(env, s.pick(400, 4000), 1),
+        },
+        Workload {
+            name: "nested-cycles",
+            n_nodes: |s| 3 * 4u64.pow(s.pick(3, 5)),
+            build: |env, s| gen::nested_cycles(env, 3, s.pick(3, 5), 4),
+        },
+        Workload {
+            name: "dag",
+            n_nodes: |s| s.pick(300, 3000),
+            build: |env, s| {
+                let n = s.pick(300, 3000);
+                gen::dag_layered(env, n, 6, n as u64 * 3, 5)
+            },
+        },
+        Workload {
+            name: "web",
+            n_nodes: |s| s.pick(600, 5000),
+            build: |env, s| gen::web_like(env, s.pick(600, 5000), 4.0, 11),
+        },
+        Workload {
+            name: "planted",
+            n_nodes: |s| s.pick(800, 6000),
+            build: |env, s| {
+                let spec = gen::SyntheticSpec::table1(gen::Dataset::Large, s.pick(800, 6000), 4.0, 21);
+                gen::planted_scc_graph(env, &spec)
+            },
+        },
+        Workload {
+            name: "gnm",
+            n_nodes: |s| s.pick(300, 2500),
+            build: |env, s| {
+                let n = s.pick(300, 2500);
+                gen::random_gnm(env, n, n as u64 * 4, 9)
+            },
+        },
+        Workload {
+            name: "rmat",
+            n_nodes: |s| 1 << s.pick(8, 11),
+            build: |env, s| gen::rmat(env, &gen::RmatSpec::graph500(s.pick(8, 11), 4, 42)),
+        },
+    ]
+}
+
+/// Block size of every matrix environment: small enough that even the smoke
+/// graphs span many blocks.
+const MATRIX_BLOCK: usize = 512;
+
+/// One storage configuration of the matrix.
+struct StorageMode {
+    name: &'static str,
+    backend: BackendKind,
+    pooled: bool,
+}
+
+/// The 2 backends × 2 pool settings every scenario runs under.
+fn storage_modes() -> [StorageMode; 4] {
+    [
+        StorageMode { name: "file/raw", backend: BackendKind::File, pooled: false },
+        StorageMode { name: "file/pool", backend: BackendKind::File, pooled: true },
+        StorageMode { name: "mem/raw", backend: BackendKind::Mem, pooled: false },
+        StorageMode { name: "mem/pool", backend: BackendKind::Mem, pooled: true },
+    ]
+}
+
+/// One memory-budget regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BudgetKind {
+    /// Semi-external state for ~|V|/3 nodes: contraction genuinely runs.
+    Tight,
+    /// State for all of |V| and more: the base case runs directly.
+    Roomy,
+}
+
+impl BudgetKind {
+    fn name(&self) -> &'static str {
+        match self {
+            BudgetKind::Tight => "tight",
+            BudgetKind::Roomy => "roomy",
+        }
+    }
+
+    /// The memory budget in bytes for a graph of `n` nodes.
+    fn bytes(&self, n: u64) -> usize {
+        let cfg = IoConfig::new(MATRIX_BLOCK, 4 * MATRIX_BLOCK);
+        let nodes = match self {
+            BudgetKind::Tight => n / 3,
+            BudgetKind::Roomy => n * 2,
+        };
+        let need = ce_semi_scc::mem_required(SemiSccKind::Coloring, nodes.max(2), &cfg);
+        (need as usize).max(2 * MATRIX_BLOCK)
+    }
+}
+
+/// One row of the matrix report: one (family, budget, storage) scenario with
+/// one cell per algorithm.
+#[derive(Debug)]
+pub struct MatrixRow {
+    /// Workload family name.
+    pub family: &'static str,
+    /// Budget regime name.
+    pub budget: &'static str,
+    /// Storage mode name.
+    pub storage: &'static str,
+    /// One verdict per registered algorithm, in registry order.
+    pub cells: Vec<AlgoVerdict>,
+}
+
+/// Outcome of one fault-injection run.
+#[derive(Debug)]
+pub struct FaultRow {
+    /// Algorithm display name.
+    pub algo: &'static str,
+    /// Physical transfer after which the injected fault fires.
+    pub point: u64,
+    /// `"error surfaced"` if the run returned an I/O error, `"completed
+    /// clean"` if it finished (correctly) before the fault fired, `"FAIL"`
+    /// otherwise (panic-free wrong behaviour).
+    pub outcome: &'static str,
+}
+
+/// Everything one matrix sweep produced; `Display` renders the summary
+/// table printed by `scc verify` (deterministic, byte-stable output — no
+/// wall-clock, no paths, no hash-map iteration order).
+#[derive(Debug)]
+pub struct MatrixReport {
+    /// Scale the sweep ran at.
+    pub scale: HarnessScale,
+    /// Column names, in registry order.
+    pub algos: Vec<&'static str>,
+    /// One row per scenario.
+    pub rows: Vec<MatrixRow>,
+    /// Logical-I/O determinism violations (empty = pass).
+    pub determinism_violations: Vec<String>,
+    /// Number of (family × budget × algorithm) groups checked for identical
+    /// logical I/Os across storage modes.
+    pub determinism_groups: usize,
+    /// Fault-injection outcomes.
+    pub faults: Vec<FaultRow>,
+}
+
+impl MatrixReport {
+    /// True iff every cell passed (or DNF'd where tolerated), logical I/Os
+    /// were identical across storage modes, and every fault surfaced.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.cells.iter().all(|c| c.ok()))
+            && self.determinism_violations.is_empty()
+            && self.faults.iter().all(|f| f.outcome != "FAIL")
+    }
+
+    /// (runs, passes, dnfs, failures) over all cells.
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut pass = 0;
+        let mut dnf = 0;
+        let mut fail = 0;
+        for row in &self.rows {
+            for c in &row.cells {
+                match c.outcome {
+                    CellOutcome::Pass { .. } => pass += 1,
+                    CellOutcome::Dnf => dnf += 1,
+                    CellOutcome::Fail => fail += 1,
+                }
+            }
+        }
+        (pass + dnf + fail, pass, dnf, fail)
+    }
+
+    /// Failure details (cell and determinism), for assertion messages.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for c in &row.cells {
+                if !c.ok() {
+                    out.push(format!(
+                        "{} x {} x {} x {}: {}",
+                        row.family,
+                        row.budget,
+                        row.storage,
+                        c.algo,
+                        c.detail.as_deref().unwrap_or("failed")
+                    ));
+                }
+            }
+        }
+        out.extend(self.determinism_violations.iter().cloned());
+        for f in &self.faults {
+            if f.outcome == "FAIL" {
+                out.push(format!("fault injection: {} at point {}", f.algo, f.point));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conformance matrix (scale = {})", self.scale.name())?;
+        write!(f, "  {:<14} {:<6} {:<9}", "family", "budget", "storage")?;
+        for a in &self.algos {
+            write!(f, " {a:>12}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "  {:<14} {:<6} {:<9}", row.family, row.budget, row.storage)?;
+            for c in &row.cells {
+                write!(f, " {:>12}", c.outcome.to_string())?;
+            }
+            writeln!(f)?;
+        }
+        if self.determinism_violations.is_empty() {
+            writeln!(
+                f,
+                "logical-I/O determinism: OK — {} (family x budget x algorithm) groups identical across {} storage modes",
+                self.determinism_groups,
+                storage_modes().len()
+            )?;
+        } else {
+            writeln!(f, "logical-I/O determinism: FAILED")?;
+            for v in &self.determinism_violations {
+                writeln!(f, "  {v}")?;
+            }
+        }
+        writeln!(f, "fault injection (unpooled file backend):")?;
+        for fr in &self.faults {
+            writeln!(f, "  {:<14} after {:>3} transfers: {}", fr.algo, fr.point, fr.outcome)?;
+        }
+        let (runs, pass, dnf, fail) = self.tally();
+        writeln!(
+            f,
+            "verdict: {} ({runs} runs: {pass} ok, {dnf} DNF, {fail} failed)",
+            if self.all_ok() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Runs the full scenario matrix at the given scale.
+pub fn run_matrix(scale: HarnessScale) -> io::Result<MatrixReport> {
+    let algos = match scale {
+        HarnessScale::Smoke => registry(),
+        HarnessScale::Full => full_registry(),
+    };
+    let algo_names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+    let budgets: &[BudgetKind] = match scale {
+        HarnessScale::Smoke => &[BudgetKind::Tight],
+        HarnessScale::Full => &[BudgetKind::Tight, BudgetKind::Roomy],
+    };
+
+    let mut rows = Vec::new();
+    // (family, budget, algo) -> set of logical-I/O counts seen across modes.
+    let mut io_groups: BTreeMap<(String, &'static str), Vec<u64>> = BTreeMap::new();
+
+    for family in &workloads() {
+        let n = (family.n_nodes)(scale);
+        for budget in budgets {
+            for mode in &storage_modes() {
+                let cfg = IoConfig::new(MATRIX_BLOCK, budget.bytes(n));
+                let opts = EnvOptions::default()
+                    .with_backend(mode.backend)
+                    .with_cache_blocks(if mode.pooled { cfg.blocks_in_memory() } else { 0 });
+                let env = DiskEnv::new_temp_with(cfg, opts)?;
+                let g = (family.build)(&env, scale)?;
+                assert_eq!(
+                    g.n_nodes(),
+                    n,
+                    "{}: declared node count drifted from the generator",
+                    family.name
+                );
+                let cells = verify_graph_with(&env, &g, &algos)?;
+                for c in &cells {
+                    if let CellOutcome::Pass { ios, .. } = c.outcome {
+                        io_groups
+                            .entry((format!("{} x {}", family.name, budget.name()), c.algo))
+                            .or_default()
+                            .push(ios);
+                    }
+                }
+                rows.push(MatrixRow {
+                    family: family.name,
+                    budget: budget.name(),
+                    storage: mode.name,
+                    cells,
+                });
+            }
+        }
+    }
+
+    let mut determinism_violations = Vec::new();
+    let determinism_groups = io_groups.len();
+    for ((scenario, algo), ios) in &io_groups {
+        if ios.windows(2).any(|w| w[0] != w[1]) {
+            determinism_violations.push(format!(
+                "{scenario} x {algo}: logical I/Os vary across storage modes: {ios:?}"
+            ));
+        }
+    }
+
+    Ok(MatrixReport {
+        scale,
+        algos: algo_names,
+        rows,
+        determinism_violations,
+        determinism_groups,
+        faults: run_fault_checks(&algos)?,
+    })
+}
+
+/// Fault-injection pass: on an unpooled file environment (every logical
+/// block access is one physical transfer), arrange for the `point`-th
+/// physical transfer to fail and assert each algorithm either surfaces the
+/// error or — if it completes before the fault fires — still labels
+/// correctly. Afterwards the fault is cleared and a clean rerun must pass.
+fn run_fault_checks(algos: &[Box<dyn SccAlgorithm>]) -> io::Result<Vec<FaultRow>> {
+    // The fixed fault workload: three 8-cycles, whose canonical partition is
+    // known in closed form.
+    let expected: Vec<u32> = (0u32..24).map(|v| v / 8 * 8).collect();
+    let labels_correct = |run: &ce_graph::SccRun, n: u64| -> bool {
+        run.n_sccs == 3
+            && run
+                .labeling(n)
+                .is_ok_and(|lab| normalize_partition(&lab.rep) == expected)
+    };
+    let mut out = Vec::new();
+    for algo in algos {
+        for point in [3u64, 64] {
+            let env = DiskEnv::new_temp(IoConfig::new(MATRIX_BLOCK, 8 << 10))?;
+            let g = gen::disjoint_cycles(&env, &[8, 8, 8])?;
+            env.inject_fault_after(point);
+            let result = algo.run(&env, &g);
+            // Disarm before grading: reading the labels back must not trip
+            // a countdown the run itself never reached.
+            env.clear_fault();
+            let outcome = match result {
+                Err(AlgoError::Io(_)) => "error surfaced",
+                Ok(run) if labels_correct(&run, g.n_nodes()) => "completed clean",
+                Err(AlgoError::Stalled(_)) if algo.may_stall() => "completed clean",
+                _ => "FAIL",
+            };
+            let rerun = algo.run(&env, &g);
+            let recovered = matches!(&rerun, Ok(run) if labels_correct(run, g.n_nodes()))
+                || (algo.may_stall() && matches!(&rerun, Err(AlgoError::Stalled(_))));
+            out.push(FaultRow {
+                algo: algo.name(),
+                point,
+                outcome: if recovered { outcome } else { "FAIL" },
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_is_canonical() {
+        // Same partition, different names -> same normal form.
+        assert_eq!(normalize_partition(&[5, 5, 9]), vec![0, 0, 2]);
+        assert_eq!(normalize_partition(&[1, 1, 2]), vec![0, 0, 2]);
+        assert_ne!(normalize_partition(&[5, 9, 9]), normalize_partition(&[5, 5, 9]));
+        assert_eq!(normalize_partition(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_complete() {
+        let names: Vec<&str> = registry().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Tarjan", "Kosaraju", "Ext-SCC", "Ext-SCC-Op", "Semi-SCC", "DFS-SCC", "EM-SCC"]
+        );
+        let full: Vec<&str> = full_registry().iter().map(|a| a.name()).collect();
+        assert_eq!(full.len(), names.len() + 2);
+        let mut dedup = full.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), full.len(), "duplicate algorithm names");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(HarnessScale::parse("smoke"), Some(HarnessScale::Smoke));
+        assert_eq!(HarnessScale::parse("full"), Some(HarnessScale::Full));
+        assert_eq!(HarnessScale::parse("bogus"), None);
+        assert_eq!(HarnessScale::Smoke.name(), "smoke");
+    }
+
+    #[test]
+    fn verify_graph_catches_everything_on_a_small_graph() {
+        let env = DiskEnv::new_temp(IoConfig::new(256, 4 << 10)).unwrap();
+        let g = gen::web_like(&env, 200, 4.0, 3).unwrap();
+        let verdicts = verify_graph(&env, &g).unwrap();
+        assert_eq!(verdicts.len(), registry().len());
+        for v in &verdicts {
+            assert!(v.ok(), "{}: {:?}", v.algo, v.detail);
+        }
+    }
+
+    #[test]
+    fn cell_outcome_formats() {
+        assert_eq!(CellOutcome::Pass { n_sccs: 3, ios: 42 }.to_string(), "3/42");
+        assert_eq!(CellOutcome::Dnf.to_string(), "DNF");
+        assert_eq!(CellOutcome::Fail.to_string(), "FAIL");
+    }
+}

@@ -5,7 +5,15 @@
 //!     [--backend file|mem] [--cache-blocks N]
 //!     [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]
 //!     [--scratch DIR] [--stats]
+//! scc verify [--scale smoke|full]
 //! ```
+//!
+//! `scc verify` runs the `ce-harness` differential conformance matrix:
+//! every registered algorithm (the five external engines plus the in-memory
+//! oracles) over every scenario {workload family × memory budget × backend ×
+//! buffer pool × fault point}, asserting partition equivalence and
+//! logical-I/O determinism. The summary table on stdout is deterministic and
+//! byte-stable (golden-tested); the exit code is 0 iff every check passed.
 //!
 //! Input: whitespace-separated `src dst` lines (`#`/`%` comments allowed).
 //! Output: `node scc_representative` lines sorted by node. `--condense`
@@ -45,7 +53,41 @@ fn usage() -> &'static str {
     "usage: scc --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
      \x20          [--backend file|mem] [--cache-blocks N]\n\
      \x20          [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
-     \x20          [--scratch DIR] [--stats]"
+     \x20          [--scratch DIR] [--stats]\n\
+     \x20      scc verify [--scale smoke|full]"
+}
+
+/// `scc verify [--scale smoke|full]` — run the differential conformance
+/// matrix (every registered algorithm on every scenario) and print the
+/// summary table. Exits 0 iff every check passed.
+fn run_verify(args: &[String]) -> Result<ExitCode, String> {
+    let mut scale = HarnessScale::Smoke;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale requires a value")?;
+                scale = HarnessScale::parse(v)
+                    .ok_or_else(|| format!("bad --scale {v:?}; use smoke|full"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown verify argument {other:?}\n{}", usage())),
+        }
+    }
+    let report = contract_expand::harness::run_matrix(scale)
+        .map_err(|e| format!("conformance matrix failed to run: {e}"))?;
+    print!("{report}");
+    if report.all_ok() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for failure in report.failures() {
+            eprintln!("conformance failure: {failure}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn parse_size(s: &str) -> Result<usize, String> {
@@ -220,6 +262,16 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("verify") {
+        return match run_verify(&argv[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let opts = match parse_args() {
         Ok(Some(o)) => o,
         Ok(None) => {

@@ -38,6 +38,7 @@
 //! | [`core`] | **the paper's contribution**: Ext-SCC / Ext-SCC-Op |
 //! | [`dfs_scc`] | external-DFS baseline (naive + BRT) |
 //! | [`em_scc`] | contraction-heuristic baseline with stall detection |
+//! | [`harness`] | differential conformance: a scenario matrix running every engine through the unified `SccAlgorithm` trait against in-memory oracles (`scc verify`) |
 //!
 //! The model's **logical** I/O counters (`IoStats`, what the paper's figures
 //! plot) are independent of the storage substrate: pick a backend and a
@@ -54,14 +55,21 @@ pub use ce_dfs_scc as dfs_scc;
 pub use ce_em_scc as em_scc;
 pub use ce_extmem as extmem;
 pub use ce_graph as graph;
+pub use ce_harness as harness;
 pub use ce_pager as pager;
 pub use ce_semi_scc as semi_scc;
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use ce_core::{ExtScc, ExtSccConfig, ExtSccError, RunReport, SccOutput};
+    pub use ce_core::{ExtScc, ExtSccAlgo, ExtSccConfig, ExtSccError, RunReport, SccOutput};
+    pub use ce_dfs_scc::DfsSccAlgo;
+    pub use ce_em_scc::EmSccAlgo;
     pub use ce_extmem::{BackendKind, DiskEnv, EnvOptions, IoConfig, IoSnapshot, PhysSnapshot};
+    pub use ce_graph::algo::{AlgoBudget, AlgoError, SccAlgorithm, SccRun};
     pub use ce_graph::gen;
-    pub use ce_graph::{CsrGraph, Edge, EdgeListGraph, NodeId, SccLabel, SccLabeling};
-    pub use ce_semi_scc::SemiSccKind;
+    pub use ce_graph::{
+        CsrGraph, Edge, EdgeListGraph, KosarajuOracle, NodeId, SccLabel, SccLabeling, TarjanOracle,
+    };
+    pub use ce_harness::HarnessScale;
+    pub use ce_semi_scc::{SemiSccAlgo, SemiSccKind};
 }

@@ -261,3 +261,40 @@ fn missing_input_file_is_reported() {
     assert_eq!(r.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&r.stderr).contains("error"));
 }
+
+#[test]
+fn verify_smoke_output_is_byte_stable() {
+    // `scc verify` output is a promise: it contains no wall-clock times, no
+    // scratch paths and no hash-map iteration order, so the whole summary
+    // table is byte-for-byte reproducible. Golden file: regenerate with
+    //   cargo run --release --bin scc -- verify --scale smoke \
+    //     > tests/golden/verify_smoke.txt
+    let r = scc_bin().args(["verify", "--scale", "smoke"]).output().unwrap();
+    assert!(
+        r.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&r.stderr)
+    );
+    let golden = include_str!("golden/verify_smoke.txt");
+    let got = String::from_utf8_lossy(&r.stdout);
+    assert_eq!(
+        got, golden,
+        "scc verify --scale smoke output drifted from tests/golden/verify_smoke.txt \
+         (if the change is intentional, regenerate the golden file)"
+    );
+}
+
+#[test]
+fn verify_rejects_bad_arguments() {
+    let r = scc_bin().args(["verify", "--scale", "bogus"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("smoke|full"));
+
+    let r = scc_bin().args(["verify", "--frobnicate"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("usage"));
+
+    let r = scc_bin().args(["verify", "--help"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&r.stdout).contains("verify"));
+}
