@@ -55,6 +55,41 @@ impl EnvOptions {
         }
     }
 
+    /// Strict `M`-total accounting: splits one `mem`-byte budget between the
+    /// buffer pool and the algorithm instead of granting the pool its frames
+    /// *on top of* `M` (what [`EnvOptions::pooled`] does, modelling the OS
+    /// page cache the I/O model prices at zero).
+    ///
+    /// Half of the budget's blocks (but always leaving the algorithm at
+    /// least two) become pool frames; the rest stays in the returned
+    /// [`IoConfig`]'s `mem_budget`, so `pool_bytes + cfg.mem_budget == mem`
+    /// exactly. Pass both values to the environment constructor:
+    ///
+    /// ```
+    /// use ce_extmem::{DiskEnv, EnvOptions};
+    /// let (cfg, opts) = EnvOptions::strict(64 << 10, 4 << 10);
+    /// assert_eq!(opts.cache_blocks * cfg.block_size + cfg.mem_budget, 64 << 10);
+    /// let env = DiskEnv::new_temp_with(cfg, opts).unwrap();
+    /// assert_eq!(env.options().cache_blocks, 8);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics (via [`IoConfig::new`]) if `block == 0` or `mem < 2 * block` —
+    /// under strict accounting there is no budget the split could satisfy.
+    pub fn strict(mem: usize, block: usize) -> (IoConfig, EnvOptions) {
+        assert!(block > 0, "block size must be positive");
+        let total_blocks = mem / block;
+        let pool = (total_blocks / 2).min(total_blocks.saturating_sub(2));
+        let cfg = IoConfig::new(block, mem - pool * block);
+        (
+            cfg,
+            EnvOptions {
+                backend: BackendKind::File,
+                cache_blocks: pool,
+            },
+        )
+    }
+
     /// Replaces the backend kind.
     pub fn with_backend(mut self, backend: BackendKind) -> EnvOptions {
         self.backend = backend;
@@ -330,6 +365,47 @@ mod tests {
         assert!(env.check_fault().is_err(), "stays failed");
         env.clear_fault();
         assert!(env.check_fault().is_ok());
+    }
+
+    #[test]
+    fn strict_split_conserves_the_budget() {
+        for (mem, block) in [(64usize << 10, 4 << 10), (4096, 512), (1024, 512), (4224, 512)] {
+            let (cfg, opts) = EnvOptions::strict(mem, block);
+            assert_eq!(
+                opts.cache_blocks * block + cfg.mem_budget,
+                mem,
+                "pool + algorithm must account for exactly M (mem={mem}, block={block})"
+            );
+            assert!(cfg.mem_budget >= 2 * block, "algorithm keeps >= 2 blocks");
+            assert_eq!(opts.backend, BackendKind::File);
+        }
+        // Minimum budget: nothing left over for the pool.
+        let (cfg, opts) = EnvOptions::strict(1024, 512);
+        assert_eq!(opts.cache_blocks, 0);
+        assert_eq!(cfg.mem_budget, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "M >= 2B")]
+    fn strict_rejects_unsplittable_budgets() {
+        let _ = EnvOptions::strict(512, 512);
+    }
+
+    #[test]
+    fn persistent_file_survives_a_mem_environment() {
+        let dir = std::env::temp_dir().join(format!("ce-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("artifact.bin");
+        let cfg = IoConfig::small_for_tests();
+        {
+            let env = DiskEnv::new_temp_with(cfg, EnvOptions::mem(&cfg)).unwrap();
+            let mut f = crate::file::CountedFile::create_persistent(&env, &target).unwrap();
+            f.write_at(0, b"durable").unwrap();
+            f.sync().unwrap();
+            assert!(env.stats().total_ios() > 0, "persistent writes are counted");
+        }
+        assert_eq!(std::fs::read(&target).unwrap(), b"durable");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

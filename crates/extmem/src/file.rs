@@ -32,6 +32,15 @@ impl CountedFile {
         Ok(Self::wrap(env, id))
     }
 
+    /// Creates (truncating) an **on-disk** file at `path` regardless of the
+    /// environment's backend kind — for persistent artifacts that must
+    /// outlive in-memory environments. Bytes still flow through the buffer
+    /// pool and are priced in the logical [`crate::stats::IoStats`].
+    pub fn create_persistent(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
+        let id = env.pager().create_persistent(path)?;
+        Ok(Self::wrap(env, id))
+    }
+
     /// Opens an existing file read-only.
     pub fn open_read(env: &DiskEnv, path: &Path) -> io::Result<CountedFile> {
         let id = env.pager().open_read(path)?;

@@ -1,0 +1,793 @@
+//! `SccIndex` — the persistent, queryable product of an SCC computation.
+//!
+//! Computing SCCs externally is expensive; the answers it yields — "which
+//! component is `u` in", "are `u` and `v` strongly connected", "how big is
+//! `u`'s component" — are cheap *if* the labeling is kept in a shape built
+//! for point queries. This module materializes exactly that: a versioned,
+//! checksummed on-disk artifact holding the node→representative mapping in
+//! block-aligned pages, a component-size table, and (optionally) the
+//! condensation DAG's edge list.
+//!
+//! Everything is written and read through the environment's pager
+//! ([`CountedFile`]), so index I/O is priced in the same **logical**
+//! [`IoStats`](ce_extmem::IoStats) model as the algorithms themselves and
+//! benefits from the buffer pool physically. The artifact is always backed
+//! by a real on-disk file (even under in-memory environments — see
+//! [`CountedFile::create_persistent`]), so it survives the environment that
+//! built it and reopens in `O(1)` memory: [`SccIndex::open`] reads the
+//! header and streams a checksum pass, after which every query touches a
+//! bounded number of blocks — [`component_of`](SccIndex::component_of) one,
+//! [`same_component`](SccIndex::same_component) two,
+//! [`component_size`](SccIndex::component_size) `O(log n_sccs)`.
+//!
+//! ## On-disk layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! page 0         header: magic "CESI", version, page size, counts,
+//!                section offsets, payload checksum, header checksum
+//! labels_off     rep[u]: u32 per node, node order, page-padded
+//! sizes_off      (rep: u32, pad: u32, size: u64) per component,
+//!                sorted by rep, page-padded
+//! dag_off        condensation edges (src: u32, dst: u32), page-padded
+//!                (absent when dag_off == 0)
+//! ```
+//!
+//! The page size is the building environment's block size, so sections are
+//! block-aligned for the device that wrote them. The payload checksum
+//! (FNV-1a 64) covers every byte from the first section to the end of the
+//! file — padding included — and the header carries its own checksum, so a
+//! flipped byte anywhere that could influence an answer is rejected at
+//! [`SccIndex::open`] with a checksum error instead of producing garbage.
+
+use std::io;
+use std::path::Path;
+
+use ce_extmem::file::CountedFile;
+use ce_extmem::{sort_by_key, DiskEnv, ExtFile};
+
+use crate::types::{Edge, NodeId, SccLabel};
+
+/// Magic bytes of the index format.
+const MAGIC: &[u8; 4] = b"CESI";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Serialized header length in bytes (the rest of page 0 is zero padding).
+const HEADER_LEN: usize = 80;
+/// Bytes per entry of the component-size table.
+const SIZE_ENTRY: u64 = 16;
+
+/// FNV-1a 64-bit, the workspace's dependency-free checksum.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Parsed header of an open index.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    page_size: u64,
+    n_nodes: u64,
+    n_sccs: u64,
+    labels_off: u64,
+    sizes_off: u64,
+    dag_off: u64,
+    n_dag_edges: u64,
+    payload_fnv: u64,
+}
+
+impl Header {
+    fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..4].copy_from_slice(MAGIC);
+        buf[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        for (i, v) in [
+            self.page_size,
+            self.n_nodes,
+            self.n_sccs,
+            self.labels_off,
+            self.sizes_off,
+            self.dag_off,
+            self.n_dag_edges,
+            self.payload_fnv,
+        ]
+        .iter()
+        .enumerate()
+        {
+            buf[8 + 8 * i..16 + 8 * i].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut fnv = Fnv::new();
+        fnv.update(&buf[..HEADER_LEN - 8]);
+        buf[HEADER_LEN - 8..].copy_from_slice(&fnv.finish().to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8; HEADER_LEN]) -> io::Result<Header> {
+        if &buf[0..4] != MAGIC {
+            return Err(bad("not an SCC index (bad magic)"));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(bad(&format!("unsupported index version {version}")));
+        }
+        let mut fnv = Fnv::new();
+        fnv.update(&buf[..HEADER_LEN - 8]);
+        let stored = u64::from_le_bytes(buf[HEADER_LEN - 8..].try_into().unwrap());
+        if fnv.finish() != stored {
+            return Err(bad("header checksum mismatch"));
+        }
+        let word = |i: usize| u64::from_le_bytes(buf[8 + 8 * i..16 + 8 * i].try_into().unwrap());
+        Ok(Header {
+            page_size: word(0),
+            n_nodes: word(1),
+            n_sccs: word(2),
+            labels_off: word(3),
+            sizes_off: word(4),
+            dag_off: word(5),
+            n_dag_edges: word(6),
+            payload_fnv: word(7),
+        })
+    }
+
+    /// Total file length implied by the header (every section page-padded).
+    fn file_len(&self) -> u64 {
+        let tail = if self.dag_off != 0 {
+            self.dag_off + 8 * self.n_dag_edges
+        } else {
+            self.sizes_off + SIZE_ENTRY * self.n_sccs
+        };
+        align_up(tail, self.page_size)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("scc index: {msg}"))
+}
+
+fn align_up(v: u64, page: u64) -> u64 {
+    v.div_ceil(page) * page
+}
+
+/// Section writer: buffers records into page-sized chunks, writes them
+/// sequentially through the [`CountedFile`], and folds every byte (padding
+/// included) into the payload checksum.
+struct SectionWriter<'a> {
+    file: &'a mut CountedFile,
+    fnv: &'a mut Fnv,
+    page: usize,
+    at: u64,
+    buf: Vec<u8>,
+}
+
+impl<'a> SectionWriter<'a> {
+    fn new(file: &'a mut CountedFile, fnv: &'a mut Fnv, page: usize, start: u64) -> Self {
+        SectionWriter {
+            file,
+            fnv,
+            page,
+            at: start,
+            buf: Vec::with_capacity(page),
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8]) -> io::Result<()> {
+        debug_assert!(bytes.len() <= self.page, "records never span two flushes");
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= self.page {
+            let page = self.buf.len() - self.buf.len() % self.page;
+            self.file.write_at(self.at, &self.buf[..page])?;
+            self.fnv.update(&self.buf[..page]);
+            self.at += page as u64;
+            self.buf.drain(..page);
+        }
+        Ok(())
+    }
+
+    /// Pads the tail to a page boundary and flushes it. Returns the offset
+    /// just past the padded section.
+    fn finish(mut self) -> io::Result<u64> {
+        if !self.buf.is_empty() {
+            self.buf.resize(self.page, 0);
+            self.file.write_at(self.at, &self.buf)?;
+            self.fnv.update(&self.buf);
+            self.at += self.page as u64;
+        }
+        Ok(self.at)
+    }
+}
+
+/// A reopened SCC index. See the module docs for the format and the I/O
+/// cost of each query; all queries are counted in the owning environment's
+/// logical [`IoStats`](ce_extmem::IoStats).
+pub struct SccIndex {
+    file: CountedFile,
+    hdr: Header,
+}
+
+impl std::fmt::Debug for SccIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SccIndex")
+            .field("n_nodes", &self.hdr.n_nodes)
+            .field("n_sccs", &self.hdr.n_sccs)
+            .field("n_dag_edges", &self.hdr.n_dag_edges)
+            .field("page_size", &self.hdr.page_size)
+            .finish()
+    }
+}
+
+impl SccIndex {
+    /// Builds the on-disk artifact at `path` from a dense node-sorted label
+    /// file (the canonical output of every [`crate::algo::SccAlgorithm`])
+    /// and, optionally, a condensation DAG edge file (as produced by
+    /// [`crate::labels::condense_external`]). Returns the number of
+    /// distinct components written.
+    ///
+    /// The file at `path` is created on the real filesystem regardless of
+    /// the environment's backend, truncating any previous artifact; all
+    /// bytes flow through the environment's pager and logical I/O counters.
+    /// One external sort of the label file (by representative) derives the
+    /// component-size table.
+    pub fn build(
+        env: &DiskEnv,
+        path: &Path,
+        labels: &ExtFile<SccLabel>,
+        n_nodes: u64,
+        dag: Option<&ExtFile<Edge>>,
+    ) -> io::Result<u64> {
+        if labels.len() != n_nodes {
+            return Err(bad(&format!(
+                "label file covers {} nodes, graph has {n_nodes}",
+                labels.len()
+            )));
+        }
+        let page = env.config().block_size as u64;
+        let mut file = CountedFile::create_persistent(env, path)?;
+        let mut fnv = Fnv::new();
+
+        // Section 1: node -> representative, u32 per node in node order.
+        // (Page-aligned; multiple header pages when the block size is
+        // smaller than the header.)
+        let labels_off = align_up(HEADER_LEN as u64, page);
+        let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, labels_off);
+        let mut r = labels.reader()?;
+        let mut expected = 0u64;
+        while let Some(l) = r.next()? {
+            if l.node as u64 != expected {
+                return Err(bad(&format!("label file not dense/sorted at node {}", l.node)));
+            }
+            w.push(&l.scc.to_le_bytes())?;
+            expected += 1;
+        }
+        let sizes_off = w.finish()?;
+
+        // Section 2: (rep, size) per component, sorted by rep — one
+        // external sort of the labels plus a run-length scan.
+        let by_rep = sort_by_key(env, labels, "idx-by-rep", |l: &SccLabel| l.scc)?;
+        let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, sizes_off);
+        let mut n_sccs = 0u64;
+        let entry = |w: &mut SectionWriter<'_>, rep: NodeId, size: u64| -> io::Result<()> {
+            let mut e = [0u8; SIZE_ENTRY as usize];
+            e[0..4].copy_from_slice(&rep.to_le_bytes());
+            e[8..16].copy_from_slice(&size.to_le_bytes());
+            w.push(&e)
+        };
+        let mut r = by_rep.reader()?;
+        let mut current: Option<(NodeId, u64)> = None;
+        while let Some(l) = r.next()? {
+            match current {
+                Some((rep, size)) if rep == l.scc => current = Some((rep, size + 1)),
+                Some((rep, size)) => {
+                    entry(&mut w, rep, size)?;
+                    n_sccs += 1;
+                    current = Some((l.scc, 1));
+                }
+                None => current = Some((l.scc, 1)),
+            }
+        }
+        if let Some((rep, size)) = current {
+            entry(&mut w, rep, size)?;
+            n_sccs += 1;
+        }
+        let after_sizes = w.finish()?;
+        drop(by_rep);
+
+        // Section 3 (optional): condensation DAG edges.
+        let (dag_off, n_dag_edges) = match dag {
+            Some(edges) => {
+                let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, after_sizes);
+                let mut r = edges.reader()?;
+                while let Some(e) = r.next()? {
+                    let mut buf = [0u8; 8];
+                    buf[0..4].copy_from_slice(&e.src.to_le_bytes());
+                    buf[4..8].copy_from_slice(&e.dst.to_le_bytes());
+                    w.push(&buf)?;
+                }
+                w.finish()?;
+                (after_sizes, edges.len())
+            }
+            None => (0, 0),
+        };
+
+        // Header last, now that the payload checksum is known.
+        let hdr = Header {
+            page_size: page,
+            n_nodes,
+            n_sccs,
+            labels_off,
+            sizes_off,
+            dag_off,
+            n_dag_edges,
+            payload_fnv: fnv.finish(),
+        };
+        file.write_at(0, &hdr.encode())?;
+        // An all-empty payload leaves the file shorter than the padded
+        // header page; extend so the length always matches the header.
+        let want = hdr.file_len();
+        let have = file.len_bytes()?;
+        if have < want {
+            file.write_at(have, &vec![0u8; (want - have) as usize])?;
+        }
+        file.sync()?;
+        Ok(n_sccs)
+    }
+
+    /// Reopens an artifact in `O(1)` memory: reads the header, validates
+    /// magic/version/geometry, and streams one checksum pass over the
+    /// payload. A file that was truncated, extended or had any payload byte
+    /// flipped is rejected here with an [`io::ErrorKind::InvalidData`]
+    /// checksum/geometry error — corruption never reaches query answers.
+    pub fn open(env: &DiskEnv, path: &Path) -> io::Result<SccIndex> {
+        let mut file = CountedFile::open_read(env, path)?;
+        let mut buf = [0u8; HEADER_LEN];
+        if file.read_at(0, &mut buf)? != HEADER_LEN {
+            return Err(bad("file too short for a header"));
+        }
+        let hdr = Header::decode(&buf)?;
+        let page = hdr.page_size;
+        // Bound every header count before any arithmetic on it: the header
+        // checksum is unkeyed, so a hostile file can carry any bytes — the
+        // geometry math below must not overflow (panic in debug, wrap in
+        // release) on fields like `n_nodes = 2^62`. Within these bounds all
+        // section arithmetic stays far below u64::MAX.
+        const MAX_PAGE: u64 = 1 << 31;
+        const MAX_NODES: u64 = (u32::MAX as u64) + 1;
+        const MAX_DAG_EDGES: u64 = 1 << 40;
+        if page == 0
+            || page > MAX_PAGE
+            || hdr.n_nodes > MAX_NODES
+            || hdr.n_sccs > hdr.n_nodes
+            || hdr.n_dag_edges > MAX_DAG_EDGES
+        {
+            return Err(bad("implausible header geometry"));
+        }
+        if hdr.labels_off != align_up(HEADER_LEN as u64, page)
+            || hdr.sizes_off != align_up(hdr.labels_off + 4 * hdr.n_nodes, page)
+            || (hdr.dag_off != 0
+                && hdr.dag_off != align_up(hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs, page))
+        {
+            return Err(bad("inconsistent section geometry"));
+        }
+        let want_len = hdr.file_len();
+        if file.len_bytes()? != want_len {
+            return Err(bad(&format!(
+                "file is {} bytes, header implies {want_len}",
+                file.len_bytes()?
+            )));
+        }
+        let mut fnv = Fnv::new();
+        let mut chunk = vec![0u8; page as usize];
+        let mut at = hdr.labels_off;
+        while at < want_len {
+            let take = ((want_len - at) as usize).min(chunk.len());
+            if file.read_at(at, &mut chunk[..take])? != take {
+                return Err(bad("payload truncated mid-scan"));
+            }
+            fnv.update(&chunk[..take]);
+            at += take as u64;
+        }
+        if fnv.finish() != hdr.payload_fnv {
+            return Err(bad("payload checksum mismatch"));
+        }
+        Ok(SccIndex { file, hdr })
+    }
+
+    /// Number of nodes the index covers (the universe `0..n_nodes`).
+    pub fn n_nodes(&self) -> u64 {
+        self.hdr.n_nodes
+    }
+
+    /// Number of distinct strongly connected components.
+    pub fn n_sccs(&self) -> u64 {
+        self.hdr.n_sccs
+    }
+
+    /// True if the artifact embeds the condensation DAG.
+    pub fn has_condensation(&self) -> bool {
+        self.hdr.dag_off != 0
+    }
+
+    /// Number of condensation edges stored (0 when absent).
+    pub fn n_dag_edges(&self) -> u64 {
+        self.hdr.n_dag_edges
+    }
+
+    /// Page size the artifact was built with (the builder's block size).
+    pub fn page_size(&self) -> u64 {
+        self.hdr.page_size
+    }
+
+    /// Total artifact size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.hdr.file_len()
+    }
+
+    /// The representative of `u`'s component — one block read.
+    pub fn component_of(&mut self, u: NodeId) -> io::Result<NodeId> {
+        if u as u64 >= self.hdr.n_nodes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("node {u} out of range (index covers {} nodes)", self.hdr.n_nodes),
+            ));
+        }
+        let mut buf = [0u8; 4];
+        let off = self.hdr.labels_off + 4 * u as u64;
+        if self.file.read_at(off, &mut buf)? != 4 {
+            return Err(bad("labels section truncated"));
+        }
+        Ok(NodeId::from_le_bytes(buf))
+    }
+
+    /// True iff `u` and `v` are strongly connected — two block reads,
+    /// no recomputation.
+    pub fn same_component(&mut self, u: NodeId, v: NodeId) -> io::Result<bool> {
+        Ok(self.component_of(u)? == self.component_of(v)?)
+    }
+
+    /// Size of `u`'s component — one block read plus an `O(log n_sccs)`
+    /// binary search over the on-disk size table.
+    pub fn component_size(&mut self, u: NodeId) -> io::Result<u64> {
+        let rep = self.component_of(u)?;
+        let (mut lo, mut hi) = (0u64, self.hdr.n_sccs);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (r, size) = self.size_entry(mid)?;
+            match r.cmp(&rep) {
+                std::cmp::Ordering::Equal => return Ok(size),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Err(bad(&format!("representative {rep} missing from the size table")))
+    }
+
+    fn size_entry(&mut self, i: u64) -> io::Result<(NodeId, u64)> {
+        let mut buf = [0u8; SIZE_ENTRY as usize];
+        let off = self.hdr.sizes_off + SIZE_ENTRY * i;
+        if self.file.read_at(off, &mut buf)? != buf.len() {
+            return Err(bad("size table truncated"));
+        }
+        Ok((
+            NodeId::from_le_bytes(buf[0..4].try_into().unwrap()),
+            u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        ))
+    }
+
+    /// Streams `(representative, size)` for every component, ascending by
+    /// representative — `O(n_sccs / B)` sequential block reads.
+    pub fn components(&mut self) -> ComponentsIter<'_> {
+        let (start, total) = (self.hdr.sizes_off, self.hdr.n_sccs);
+        ComponentsIter {
+            cursor: SectionCursor::new(self, start, SIZE_ENTRY, total),
+        }
+    }
+
+    /// Streams the stored condensation DAG edges (component representatives
+    /// as endpoints). Empty when the artifact was built without a DAG; check
+    /// [`SccIndex::has_condensation`] to distinguish.
+    pub fn condensation_edges(&mut self) -> DagEdgesIter<'_> {
+        let (start, total) = (self.hdr.dag_off, self.hdr.n_dag_edges);
+        DagEdgesIter {
+            cursor: SectionCursor::new(self, start, 8, if start == 0 { 0 } else { total }),
+        }
+    }
+}
+
+/// Buffered sequential cursor over one fixed-record section.
+struct SectionCursor<'a> {
+    idx: &'a mut SccIndex,
+    record: u64,
+    start: u64,
+    total: u64,
+    next: u64,
+    buf: Vec<u8>,
+    buf_first: u64,
+}
+
+impl<'a> SectionCursor<'a> {
+    fn new(idx: &'a mut SccIndex, start: u64, record: u64, total: u64) -> Self {
+        let page = idx.hdr.page_size as usize;
+        SectionCursor {
+            idx,
+            record,
+            start,
+            total,
+            next: 0,
+            buf: Vec::with_capacity(page),
+            buf_first: u64::MAX,
+        }
+    }
+
+    fn next_record(&mut self) -> io::Result<Option<&[u8]>> {
+        if self.next >= self.total {
+            return Ok(None);
+        }
+        let per_buf = (self.idx.hdr.page_size / self.record).max(1);
+        if self.buf_first == u64::MAX || self.next >= self.buf_first + per_buf {
+            let first = (self.next / per_buf) * per_buf;
+            let want = ((self.total - first).min(per_buf) * self.record) as usize;
+            self.buf.resize(want, 0);
+            let off = self.start + first * self.record;
+            if self.idx.file.read_at(off, &mut self.buf)? != want {
+                return Err(bad("section truncated mid-iteration"));
+            }
+            self.buf_first = first;
+        }
+        let at = ((self.next - self.buf_first) * self.record) as usize;
+        self.next += 1;
+        Ok(Some(&self.buf[at..at + self.record as usize]))
+    }
+}
+
+/// Iterator over `(representative, component size)` pairs.
+/// See [`SccIndex::components`].
+pub struct ComponentsIter<'a> {
+    cursor: SectionCursor<'a>,
+}
+
+impl Iterator for ComponentsIter<'_> {
+    type Item = io::Result<(NodeId, u64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.cursor.next_record() {
+            Err(e) => Some(Err(e)),
+            Ok(None) => None,
+            Ok(Some(raw)) => Some(Ok((
+                NodeId::from_le_bytes(raw[0..4].try_into().unwrap()),
+                u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+            ))),
+        }
+    }
+}
+
+/// Iterator over stored condensation edges.
+/// See [`SccIndex::condensation_edges`].
+pub struct DagEdgesIter<'a> {
+    cursor: SectionCursor<'a>,
+}
+
+impl Iterator for DagEdgesIter<'_> {
+    type Item = io::Result<Edge>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.cursor.next_record() {
+            Err(e) => Some(Err(e)),
+            Ok(None) => None,
+            Ok(Some(raw)) => Some(Ok(Edge::new(
+                NodeId::from_le_bytes(raw[0..4].try_into().unwrap()),
+                NodeId::from_le_bytes(raw[4..8].try_into().unwrap()),
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_extmem::IoConfig;
+
+    fn env() -> DiskEnv {
+        DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap()
+    }
+
+    fn idx_path(env: &DiskEnv, name: &str) -> std::path::PathBuf {
+        env.root().join(format!("{name}.sccidx"))
+    }
+
+    /// Labels for {0,1} ∪ {2} ∪ {3,4,5}: reps 0, 2, 3.
+    fn sample_labels(env: &DiskEnv) -> ExtFile<SccLabel> {
+        env.file_from_slice(
+            "labs",
+            &[
+                SccLabel::new(0, 0),
+                SccLabel::new(1, 0),
+                SccLabel::new(2, 2),
+                SccLabel::new(3, 3),
+                SccLabel::new(4, 3),
+                SccLabel::new(5, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_open_query_roundtrip() {
+        let env = env();
+        let labels = sample_labels(&env);
+        let path = idx_path(&env, "rt");
+        let n_sccs = SccIndex::build(&env, &path, &labels, 6, None).unwrap();
+        assert_eq!(n_sccs, 3);
+
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+        assert_eq!(idx.n_nodes(), 6);
+        assert_eq!(idx.n_sccs(), 3);
+        assert!(!idx.has_condensation());
+        for (v, rep) in [(0, 0), (1, 0), (2, 2), (3, 3), (4, 3), (5, 3)] {
+            assert_eq!(idx.component_of(v).unwrap(), rep, "component_of({v})");
+        }
+        assert!(idx.same_component(3, 5).unwrap());
+        assert!(!idx.same_component(1, 2).unwrap());
+        assert_eq!(idx.component_size(4).unwrap(), 3);
+        assert_eq!(idx.component_size(2).unwrap(), 1);
+        let comps: Vec<(u32, u64)> = idx.components().map(|c| c.unwrap()).collect();
+        assert_eq!(comps, vec![(0, 2), (2, 1), (3, 3)]);
+        assert!(idx.component_of(6).is_err(), "out of range");
+    }
+
+    #[test]
+    fn queries_are_counted_and_block_budgeted() {
+        let env = env();
+        let labels = sample_labels(&env);
+        let path = idx_path(&env, "ctr");
+        SccIndex::build(&env, &path, &labels, 6, None).unwrap();
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+        let before = env.stats().snapshot();
+        idx.component_of(4).unwrap();
+        let one = env.stats().snapshot().since(&before);
+        assert_eq!(one.total_ios(), 1, "component_of is one block read");
+        let before = env.stats().snapshot();
+        idx.same_component(0, 5).unwrap();
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 2);
+    }
+
+    #[test]
+    fn dag_section_roundtrips() {
+        let env = env();
+        let labels = sample_labels(&env);
+        let dag = env
+            .file_from_slice("dag", &[Edge::new(0, 2), Edge::new(2, 3)])
+            .unwrap();
+        let path = idx_path(&env, "dag");
+        SccIndex::build(&env, &path, &labels, 6, Some(&dag)).unwrap();
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+        assert!(idx.has_condensation());
+        assert_eq!(idx.n_dag_edges(), 2);
+        let edges: Vec<Edge> = idx.condensation_edges().map(|e| e.unwrap()).collect();
+        assert_eq!(edges, vec![Edge::new(0, 2), Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph_has_an_empty_but_valid_index() {
+        let env = env();
+        let labels = env.file_from_slice::<SccLabel>("none", &[]).unwrap();
+        let path = idx_path(&env, "empty");
+        assert_eq!(SccIndex::build(&env, &path, &labels, 0, None).unwrap(), 0);
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+        assert_eq!(idx.n_nodes(), 0);
+        assert_eq!(idx.components().count(), 0);
+        assert!(idx.component_of(0).is_err());
+    }
+
+    #[test]
+    fn build_rejects_sparse_or_short_labels() {
+        let env = env();
+        let short = env.file_from_slice("s", &[SccLabel::new(0, 0)]).unwrap();
+        assert!(SccIndex::build(&env, &env.root().join("s.i"), &short, 2, None).is_err());
+        let gap = env
+            .file_from_slice("g", &[SccLabel::new(0, 0), SccLabel::new(2, 2)])
+            .unwrap();
+        let err = SccIndex::build(&env, &env.root().join("g.i"), &gap, 2, None).unwrap_err();
+        assert!(err.to_string().contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn every_meaningful_corruption_is_rejected_at_open() {
+        let build_env = env();
+        let labels = sample_labels(&build_env);
+        let dag = build_env.file_from_slice("dag", &[Edge::new(0, 3)]).unwrap();
+        let path = idx_path(&build_env, "corrupt");
+        SccIndex::build(&build_env, &path, &labels, 6, Some(&dag)).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        assert_eq!(pristine.len() % 64, 0, "whole pages");
+
+        // Flip every header byte and every payload byte in turn: open must
+        // fail each time (header-page padding past the header is never
+        // read; sections start at the 128-byte boundary under 64 B pages).
+        let mut rejected = 0usize;
+        for at in (0..HEADER_LEN).chain(128..pristine.len()) {
+            let mut bytes = pristine.clone();
+            bytes[at] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            // Fresh environment: nothing cached from the build.
+            let fresh = env();
+            let err = SccIndex::open(&fresh, &path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {at}: {err}");
+            rejected += 1;
+        }
+        assert!(rejected > 64, "swept header and payload");
+
+        // Truncation and extension are geometry errors, not garbage.
+        std::fs::write(&path, &pristine[..pristine.len() - 64]).unwrap();
+        assert!(SccIndex::open(&env(), &path).is_err());
+        let mut longer = pristine.clone();
+        longer.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &longer).unwrap();
+        assert!(SccIndex::open(&env(), &path).is_err());
+
+        // And the pristine bytes still open.
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(SccIndex::open(&env(), &path).is_ok());
+    }
+
+    #[test]
+    fn hostile_header_with_valid_checksum_is_rejected_not_overflowed() {
+        // The header checksum is unkeyed FNV: anyone can craft a header
+        // whose checksum validates but whose counts would overflow the
+        // geometry arithmetic. Open must answer InvalidData, never panic.
+        let build_env = env();
+        let labels = sample_labels(&build_env);
+        let path = idx_path(&build_env, "hostile");
+        SccIndex::build(&build_env, &path, &labels, 6, None).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // (header word index, hostile value): n_nodes = 2^62, huge page
+        // size, huge dag edge count, n_sccs > n_nodes.
+        for (word, value) in [
+            (1u64, 1u64 << 62),   // n_nodes
+            (0, u64::MAX / 2),    // page_size
+            (6, 1 << 62),         // n_dag_edges
+            (2, 7),               // n_sccs > n_nodes (6)
+        ] {
+            let mut bytes = pristine.clone();
+            let at = 8 + 8 * word as usize;
+            bytes[at..at + 8].copy_from_slice(&value.to_le_bytes());
+            // Recompute the header checksum so only geometry can reject it.
+            let mut fnv = Fnv::new();
+            fnv.update(&bytes[..HEADER_LEN - 8]);
+            bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&fnv.finish().to_le_bytes());
+            std::fs::write(&path, &bytes).unwrap();
+            let err = SccIndex::open(&env(), &path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "word {word}: {err}");
+        }
+    }
+
+    #[test]
+    fn rebuild_at_the_same_path_truncates_the_old_artifact() {
+        let env = env();
+        let labels = sample_labels(&env);
+        let path = idx_path(&env, "re");
+        let dag = env.file_from_slice("dag", &[Edge::new(0, 2)]).unwrap();
+        SccIndex::build(&env, &path, &labels, 6, Some(&dag)).unwrap();
+        let small = env
+            .file_from_slice("l2", &[SccLabel::new(0, 0), SccLabel::new(1, 0)])
+            .unwrap();
+        SccIndex::build(&env, &path, &small, 2, None).unwrap();
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+        assert_eq!(idx.n_nodes(), 2);
+        assert!(!idx.has_condensation());
+        assert!(idx.same_component(0, 1).unwrap());
+    }
+}

@@ -21,6 +21,11 @@
 //!   in for WEBSPAM-UK2007, and assorted structured graphs;
 //! * [`labels`] — utilities over SCC labelings (canonicalization, partition
 //!   comparison, histograms, condensation — in memory and external);
+//! * [`planner`] — the engine [`planner::Planner`]: deterministic,
+//!   explainable selection of Semi-SCC vs Ext-SCC(-Op) from
+//!   `(|V|, M, B)`, returning a [`planner::Plan`] with the reason;
+//! * [`index`] — [`index::SccIndex`]: the persistent, checksummed,
+//!   block-budgeted queryable artifact an SCC computation materializes;
 //! * [`stats`] — external graph statistics (degree distribution,
 //!   sources/sinks/isolated counts) in `O(sort(|E|))` I/Os.
 
@@ -28,8 +33,10 @@ pub mod algo;
 pub mod csr;
 pub mod edgelist;
 pub mod gen;
+pub mod index;
 pub mod kosaraju;
 pub mod labels;
+pub mod planner;
 pub mod stats;
 pub mod tarjan;
 pub mod types;
@@ -37,5 +44,7 @@ pub mod types;
 pub use algo::{AlgoBudget, AlgoError, KosarajuOracle, SccAlgorithm, SccRun, SccSolution, TarjanOracle};
 pub use csr::CsrGraph;
 pub use edgelist::EdgeListGraph;
+pub use index::SccIndex;
 pub use labels::SccLabeling;
+pub use planner::{Engine, Plan, Planner};
 pub use types::{Edge, NodeId, SccLabel};

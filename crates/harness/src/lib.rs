@@ -5,7 +5,7 @@
 //! turns that claim into a test: a **scenario matrix** sweeping
 //! {workload family × memory budget × storage backend × buffer-pool size ×
 //! fault-injection point}, running every registered
-//! [`SccAlgorithm`](ce_graph::algo::SccAlgorithm) on every cell and
+//! [`SccAlgorithm`] on every cell and
 //! asserting
 //!
 //! 1. **partition equivalence** — each algorithm's labeling, canonicalized
@@ -17,7 +17,18 @@
 //!    representatives are members of their own component, reported SCC
 //!    counts match the labeling;
 //! 4. **fault surfacing** — with an injected physical-transfer fault every
-//!    algorithm returns an error instead of panicking or mislabeling.
+//!    algorithm returns an error instead of panicking or mislabeling;
+//! 5. **planner agreement** — for every (workload × budget) the
+//!    [`Planner`](ce_graph::planner::Planner) (wired to the semi-external
+//!    footprint via [`ce_semi_scc::planner_for`]) picks Semi-SCC *exactly*
+//!    when the node array fits the budget, and the planned engine's cell
+//!    passes in every storage mode;
+//! 6. **index round-trips** — per scenario, an [`SccIndex`] built from the
+//!    oracle labeling, closed, and reopened in a fresh environment answers
+//!    every `component_of` / size query exactly as the oracle does;
+//! 7. **strict budget accounting** — one extra scenario runs under
+//!    [`EnvOptions::strict`], where the buffer pool's frames come *out of*
+//!    the `M`-byte budget instead of on top of it.
 //!
 //! Algorithms whose [`may_stall`](ce_graph::algo::SccAlgorithm::may_stall)
 //! is true (EM-SCC) may record a DNF instead of a labeling, as in the
@@ -46,13 +57,15 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ce_core::ExtSccAlgo;
 use ce_dfs_scc::{DfsMode, DfsSccAlgo};
 use ce_em_scc::EmSccAlgo;
 use ce_extmem::{BackendKind, DiskEnv, EnvOptions, IoConfig};
 use ce_graph::algo::{AlgoError, SccAlgorithm};
-use ce_graph::{gen, EdgeListGraph};
+use ce_graph::planner::{Engine, Plan};
+use ce_graph::{gen, EdgeListGraph, SccIndex, SccLabel, SccLabeling};
 use ce_semi_scc::{SemiSccAlgo, SemiSccKind};
 
 /// How big a matrix to run.
@@ -199,13 +212,24 @@ pub fn verify_graph_with(
     g: &EdgeListGraph,
     algos: &[Box<dyn SccAlgorithm>],
 ) -> io::Result<Vec<AlgoVerdict>> {
+    graded_cells(env, g, algos).map(|(cells, _)| cells)
+}
+
+/// [`verify_graph_with`] plus the oracle's labeling (the matrix reuses it
+/// for the per-scenario index round-trip).
+fn graded_cells(
+    env: &DiskEnv,
+    g: &EdgeListGraph,
+    algos: &[Box<dyn SccAlgorithm>],
+) -> io::Result<(Vec<AlgoVerdict>, SccLabeling)> {
     let oracle = algos
         .first()
         .ok_or_else(|| io::Error::other("empty algorithm list"))?;
     let oracle_run = oracle
         .run(env, g)
         .map_err(|e| io::Error::other(format!("oracle {} failed: {e}", oracle.name())))?;
-    let oracle_norm = normalize_partition(&oracle_run.labeling(g.n_nodes())?.rep);
+    let oracle_labeling = oracle_run.labeling(g.n_nodes())?;
+    let oracle_norm = normalize_partition(&oracle_labeling.rep);
     let oracle_sccs = oracle_run.n_sccs;
 
     let mut verdicts = vec![AlgoVerdict {
@@ -219,7 +243,7 @@ pub fn verify_graph_with(
     for algo in &algos[1..] {
         verdicts.push(check_one(env, g, algo.as_ref(), &oracle_norm, oracle_sccs));
     }
-    Ok(verdicts)
+    Ok((verdicts, oracle_labeling))
 }
 
 /// Runs one algorithm and grades it against the oracle partition.
@@ -404,6 +428,85 @@ pub struct MatrixRow {
     pub cells: Vec<AlgoVerdict>,
 }
 
+/// The planner's decision for one (workload family × budget) pair, as shown
+/// in the `scc verify` report.
+#[derive(Debug)]
+pub struct PlannerRow {
+    /// `"family x budget"`.
+    pub scenario: String,
+    /// Chosen engine's display name.
+    pub engine: &'static str,
+    /// Compact byte arithmetic behind the choice.
+    pub detail: String,
+}
+
+/// Renders a [`Plan`] as the report's compact one-line arithmetic.
+fn planner_detail(plan: &Plan) -> String {
+    if plan.engine == Engine::SemiScc {
+        format!(
+            "semi needs {} B <= {} B budget",
+            plan.semi_bytes_needed, plan.mem_budget
+        )
+    } else {
+        format!(
+            "semi needs {} B > {} B budget; ~{} passes",
+            plan.semi_bytes_needed, plan.mem_budget, plan.predicted_passes
+        )
+    }
+}
+
+/// Builds an [`SccIndex`] from the oracle labeling inside the scenario's
+/// environment (exercising its backend and pool on the write path), closes
+/// it, reopens it in a *fresh* default environment (the artifact must stand
+/// alone), and checks every query against the oracle. Returns a violation
+/// description on mismatch.
+fn check_index_roundtrip(env: &DiskEnv, lab: &SccLabeling) -> io::Result<Option<String>> {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = lab.rep.len() as u64;
+    let records: Vec<SccLabel> = lab
+        .rep
+        .iter()
+        .enumerate()
+        .map(|(v, &r)| SccLabel::new(v as u32, r))
+        .collect();
+    let labels = env.file_from_slice("idx-rt-labels", &records)?;
+    let path = std::env::temp_dir().join(format!(
+        "ce-harness-idx-{}-{}.sccidx",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let verdict = (|| -> io::Result<Option<String>> {
+        let n_sccs = SccIndex::build(env, &path, &labels, n, None)?;
+        let fresh = DiskEnv::new_temp(IoConfig::new(MATRIX_BLOCK, 4 * MATRIX_BLOCK))?;
+        let mut idx = SccIndex::open(&fresh, &path)?;
+        if n_sccs != lab.n_sccs() as u64 || idx.n_sccs() != n_sccs || idx.n_nodes() != n {
+            return Ok(Some(format!(
+                "index counts drifted: built {n_sccs}, reopened {}, oracle {}",
+                idx.n_sccs(),
+                lab.n_sccs()
+            )));
+        }
+        for (v, &rep) in lab.rep.iter().enumerate() {
+            let got = idx.component_of(v as u32)?;
+            if got != rep {
+                return Ok(Some(format!(
+                    "component_of({v}) = {got} after reopen, oracle says {rep}"
+                )));
+            }
+        }
+        let mut total = 0u64;
+        for entry in idx.components() {
+            total += entry?.1;
+        }
+        if total != n {
+            return Ok(Some(format!("component sizes sum to {total}, not {n}")));
+        }
+        Ok(None)
+    })();
+    let _ = std::fs::remove_file(&path);
+    verdict
+}
+
 /// Outcome of one fault-injection run.
 #[derive(Debug)]
 pub struct FaultRow {
@@ -433,6 +536,17 @@ pub struct MatrixReport {
     /// Number of (family × budget × algorithm) groups checked for identical
     /// logical I/Os across storage modes.
     pub determinism_groups: usize,
+    /// Planner decision per (family × budget).
+    pub planner_rows: Vec<PlannerRow>,
+    /// Planner disagreements — fit-boundary mismatches or planned engines
+    /// that failed their scenario (empty = pass).
+    pub planner_violations: Vec<String>,
+    /// Scenarios whose index round-trip was checked.
+    pub index_scenarios: usize,
+    /// Index round-trip mismatches (empty = pass).
+    pub index_violations: Vec<String>,
+    /// The strict-budget scenario's split arithmetic, for the report.
+    pub strict_note: String,
     /// Fault-injection outcomes.
     pub faults: Vec<FaultRow>,
 }
@@ -443,6 +557,8 @@ impl MatrixReport {
     pub fn all_ok(&self) -> bool {
         self.rows.iter().all(|r| r.cells.iter().all(|c| c.ok()))
             && self.determinism_violations.is_empty()
+            && self.planner_violations.is_empty()
+            && self.index_violations.is_empty()
             && self.faults.iter().all(|f| f.outcome != "FAIL")
     }
 
@@ -481,6 +597,8 @@ impl MatrixReport {
             }
         }
         out.extend(self.determinism_violations.iter().cloned());
+        out.extend(self.planner_violations.iter().cloned());
+        out.extend(self.index_violations.iter().cloned());
         for f in &self.faults {
             if f.outcome == "FAIL" {
                 out.push(format!("fault injection: {} at point {}", f.algo, f.point));
@@ -504,6 +622,35 @@ impl fmt::Display for MatrixReport {
                 write!(f, " {:>12}", c.outcome.to_string())?;
             }
             writeln!(f)?;
+        }
+        writeln!(f, "strict budget: {}", self.strict_note)?;
+        writeln!(f, "planner:")?;
+        for p in &self.planner_rows {
+            writeln!(f, "  {:<22} -> {:<10} ({})", p.scenario, p.engine, p.detail)?;
+        }
+        if self.planner_violations.is_empty() {
+            writeln!(
+                f,
+                "planner agreement: OK — {} plans; planned engine passed in every scenario",
+                self.planner_rows.len()
+            )?;
+        } else {
+            writeln!(f, "planner agreement: FAILED")?;
+            for v in &self.planner_violations {
+                writeln!(f, "  {v}")?;
+            }
+        }
+        if self.index_violations.is_empty() {
+            writeln!(
+                f,
+                "index round-trip: OK — {} scenarios (build -> close -> reopen -> queries match the oracle)",
+                self.index_scenarios
+            )?;
+        } else {
+            writeln!(f, "index round-trip: FAILED")?;
+            for v in &self.index_violations {
+                writeln!(f, "  {v}")?;
+            }
         }
         if self.determinism_violations.is_empty() {
             writeln!(
@@ -546,12 +693,69 @@ pub fn run_matrix(scale: HarnessScale) -> io::Result<MatrixReport> {
     let mut rows = Vec::new();
     // (family, budget, algo) -> set of logical-I/O counts seen across modes.
     let mut io_groups: BTreeMap<(String, &'static str), Vec<u64>> = BTreeMap::new();
+    let mut planner_rows = Vec::new();
+    let mut planner_violations = Vec::new();
+    let mut index_scenarios = 0usize;
+    let mut index_violations = Vec::new();
+
+    // Grades one scenario environment: runs every algorithm, records the
+    // planner-agreement and index-round-trip checks, returns the cell row.
+    #[allow(clippy::too_many_arguments)]
+    fn grade_scenario(
+        env: &DiskEnv,
+        g: &EdgeListGraph,
+        algos: &[Box<dyn SccAlgorithm>],
+        scenario: String,
+        plan: &Plan,
+        planner_violations: &mut Vec<String>,
+        index_scenarios: &mut usize,
+        index_violations: &mut Vec<String>,
+    ) -> io::Result<Vec<AlgoVerdict>> {
+        let (cells, oracle_labeling) = graded_cells(env, g, algos)?;
+        match cells.iter().find(|c| c.algo == plan.engine.name()) {
+            Some(cell) if matches!(cell.outcome, CellOutcome::Pass { .. }) => {}
+            Some(cell) => planner_violations.push(format!(
+                "{scenario}: planned engine {} did not pass ({})",
+                plan.engine,
+                cell.detail.as_deref().unwrap_or("no detail")
+            )),
+            None => planner_violations.push(format!(
+                "{scenario}: planned engine {} is not in the registry",
+                plan.engine
+            )),
+        }
+        *index_scenarios += 1;
+        if let Some(why) = check_index_roundtrip(env, &oracle_labeling)? {
+            index_violations.push(format!("{scenario}: {why}"));
+        }
+        Ok(cells)
+    }
 
     for family in &workloads() {
         let n = (family.n_nodes)(scale);
         for budget in budgets {
+            let cfg = IoConfig::new(MATRIX_BLOCK, budget.bytes(n));
+            // The planner must pick Semi-SCC exactly when the node array
+            // fits the budget — checked against the footprint source of
+            // truth, then against every storage mode's actual run.
+            let plan = ce_semi_scc::planner_for(cfg).plan(n);
+            let fits =
+                ce_semi_scc::mem_required(SemiSccKind::Coloring, n, &cfg) <= cfg.mem_budget as u64;
+            if (plan.engine == Engine::SemiScc) != fits {
+                planner_violations.push(format!(
+                    "{} x {}: planner chose {} but the node array {} the budget",
+                    family.name,
+                    budget.name(),
+                    plan.engine,
+                    if fits { "fits" } else { "exceeds" }
+                ));
+            }
+            planner_rows.push(PlannerRow {
+                scenario: format!("{} x {}", family.name, budget.name()),
+                engine: plan.engine.name(),
+                detail: planner_detail(&plan),
+            });
             for mode in &storage_modes() {
-                let cfg = IoConfig::new(MATRIX_BLOCK, budget.bytes(n));
                 let opts = EnvOptions::default()
                     .with_backend(mode.backend)
                     .with_cache_blocks(if mode.pooled { cfg.blocks_in_memory() } else { 0 });
@@ -563,7 +767,16 @@ pub fn run_matrix(scale: HarnessScale) -> io::Result<MatrixReport> {
                     "{}: declared node count drifted from the generator",
                     family.name
                 );
-                let cells = verify_graph_with(&env, &g, &algos)?;
+                let cells = grade_scenario(
+                    &env,
+                    &g,
+                    &algos,
+                    format!("{} x {} x {}", family.name, budget.name(), mode.name),
+                    &plan,
+                    &mut planner_violations,
+                    &mut index_scenarios,
+                    &mut index_violations,
+                )?;
                 for c in &cells {
                     if let CellOutcome::Pass { ios, .. } = c.outcome {
                         io_groups
@@ -582,6 +795,43 @@ pub fn run_matrix(scale: HarnessScale) -> io::Result<MatrixReport> {
         }
     }
 
+    // One extra scenario under strict M-total accounting: the pool's frames
+    // come out of the budget instead of on top of it (ROADMAP open item).
+    // Not part of the determinism groups — a smaller algorithm-side budget
+    // legitimately changes the logical I/O counts.
+    let strict_note = {
+        let family = workloads()
+            .into_iter()
+            .find(|w| w.name == "web")
+            .expect("web workload exists");
+        let n = (family.n_nodes)(scale);
+        let total = BudgetKind::Tight.bytes(n);
+        let (cfg, opts) = EnvOptions::strict(total, MATRIX_BLOCK);
+        let env = DiskEnv::new_temp_with(cfg, opts)?;
+        let g = (family.build)(&env, scale)?;
+        let plan = ce_semi_scc::planner_for(cfg).plan(n);
+        let cells = grade_scenario(
+            &env,
+            &g,
+            &algos,
+            format!("{} x tight x strict", family.name),
+            &plan,
+            &mut planner_violations,
+            &mut index_scenarios,
+            &mut index_violations,
+        )?;
+        rows.push(MatrixRow {
+            family: family.name,
+            budget: "tight",
+            storage: "strict",
+            cells,
+        });
+        format!(
+            "web x tight splits {total} B as {} pool frames + {} B algorithm budget",
+            opts.cache_blocks, cfg.mem_budget
+        )
+    };
+
     let mut determinism_violations = Vec::new();
     let determinism_groups = io_groups.len();
     for ((scenario, algo), ios) in &io_groups {
@@ -598,6 +848,11 @@ pub fn run_matrix(scale: HarnessScale) -> io::Result<MatrixReport> {
         rows,
         determinism_violations,
         determinism_groups,
+        planner_rows,
+        planner_violations,
+        index_scenarios,
+        index_violations,
+        strict_note,
         faults: run_fault_checks(&algos)?,
     })
 }

@@ -379,6 +379,21 @@ impl Pager {
         Ok(self.intern(&mut inner, path, st))
     }
 
+    /// Creates (truncating) an **on-disk** file at `path` regardless of this
+    /// pager's backend kind — the escape hatch for persistent artifacts
+    /// (e.g. a queryable index) that must outlive in-memory environments.
+    /// All block traffic still flows through the buffer pool and the
+    /// physical counters; the file is never auto-deleted by the pager.
+    pub fn create_persistent(&self, path: &Path) -> io::Result<FileId> {
+        let mut inner = self.lock();
+        let st = FileState {
+            backend: Box::new(FileBackend::create(path)?),
+            len: 0,
+            owns_fs_path: None,
+        };
+        Ok(self.intern(&mut inner, path, st))
+    }
+
     fn open_existing(&self, path: &Path, rw: bool) -> io::Result<FileId> {
         let mut inner = self.lock();
         if let Some(&id) = inner.ids.get(path) {

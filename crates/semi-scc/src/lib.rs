@@ -74,6 +74,16 @@ pub fn mem_required(kind: SemiSccKind, n_nodes: u64, cfg: &IoConfig) -> u64 {
     per_node * n_nodes + 2 * cfg.block_size as u64
 }
 
+/// An engine [`Planner`](ce_graph::planner::Planner) whose semi-external
+/// fit test is wired to this crate's *actual* memory footprint
+/// ([`mem_required`] for the [`SemiSccKind::Coloring`] base case), so
+/// planning and execution cannot drift: the planner picks Semi-SCC exactly
+/// when [`mem_required`] says the node array fits the budget.
+pub fn planner_for(cfg: IoConfig) -> ce_graph::planner::Planner {
+    let at = |n: u64| mem_required(SemiSccKind::Coloring, n, &cfg);
+    ce_graph::planner::Planner::new(cfg).with_semi_footprint(at(2) - at(1), 2 * at(1) - at(2))
+}
+
 /// Computes the SCCs of the graph induced by `nodes` (sorted ascending,
 /// in-memory per the semi-external contract) over the on-disk `edges`.
 ///
@@ -146,7 +156,8 @@ pub(crate) fn write_labels(
     w.finish()
 }
 
-/// [`SccAlgorithm`] adapter: runs a semi-external algorithm directly on the
+/// [`SccAlgorithm`](ce_graph::algo::SccAlgorithm) adapter: runs a
+/// semi-external algorithm directly on the
 /// full graph (node universe `0..n` held in memory, edges streamed).
 ///
 /// This is the base case of Ext-SCC promoted to a standalone engine — the
@@ -218,6 +229,21 @@ mod tests {
         let b = mem_required(SemiSccKind::Coloring, 2000, &cfg);
         assert_eq!(b - a, 16_000);
         assert!(mem_required(SemiSccKind::SpanningTree, 1000, &cfg) > a);
+    }
+
+    #[test]
+    fn planner_agrees_with_mem_required_exactly() {
+        let cfg = IoConfig::new(512, 16 * 1000 + 1024);
+        let p = planner_for(cfg);
+        for n in [1u64, 2, 999, 1000, 1001, 50_000] {
+            assert_eq!(
+                p.fits_semi(n),
+                mem_required(SemiSccKind::Coloring, n, &cfg) <= cfg.mem_budget as u64,
+                "fit test drifted from mem_required at n = {n}"
+            );
+        }
+        assert_eq!(p.plan(1000).engine, ce_graph::planner::Engine::SemiScc);
+        assert_eq!(p.plan(1001).engine, ce_graph::planner::Engine::ExtSccOp);
     }
 
     #[test]

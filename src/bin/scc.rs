@@ -1,19 +1,41 @@
 //! `scc` — command-line SCC computation over text or binary edge lists.
 //!
 //! ```text
-//! scc --input graph.txt [--mem 64M] [--block 64K] [--baseline]
-//!     [--backend file|mem] [--cache-blocks N]
-//!     [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]
-//!     [--scratch DIR] [--stats]
+//! scc run   --input graph.txt [--mem 64M] [--block 64K] [--baseline]
+//!           [--backend file|mem] [--cache-blocks N]
+//!           [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]
+//!           [--scratch DIR] [--stats]
+//! scc plan  --input graph.txt [--mem 64M] [--block 64K]
+//!           [--engine auto|semi-scc|ext-scc|ext-scc-op]
+//! scc index build --input graph.txt --out graph.sccidx
+//!           [--mem 64M] [--block 64K] [--backend file|mem] [--cache-blocks N]
+//!           [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]
+//!           [--condense] [--stats]
+//! scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]
 //! scc verify [--scale smoke|full]
+//! scc --version | -V
 //! ```
+//!
+//! Flat flags (`scc --input ...`) remain a byte-compatible alias for
+//! `scc run`. Every subcommand accepts `--help`.
+//!
+//! `scc plan` prints the engine the planner would choose for the input
+//! under the given budget — with the reason and the predicted contraction
+//! passes — without running anything.
+//!
+//! `scc index build` runs the *planned* engine (override with `--engine`)
+//! and materializes the persistent queryable index artifact; `scc index
+//! query` answers `component_of` / `same_component` / `component_size`
+//! from that artifact alone — no recomputation — reporting the logical
+//! query I/O under `--stats`.
 //!
 //! `scc verify` runs the `ce-harness` differential conformance matrix:
 //! every registered algorithm (the five external engines plus the in-memory
 //! oracles) over every scenario {workload family × memory budget × backend ×
-//! buffer pool × fault point}, asserting partition equivalence and
-//! logical-I/O determinism. The summary table on stdout is deterministic and
-//! byte-stable (golden-tested); the exit code is 0 iff every check passed.
+//! buffer pool × fault point}, asserting partition equivalence,
+//! logical-I/O determinism, planner agreement and index round-trips. The
+//! summary table on stdout is deterministic and byte-stable
+//! (golden-tested); the exit code is 0 iff every check passed.
 //!
 //! Input: whitespace-separated `src dst` lines (`#`/`%` comments allowed).
 //! Output: `node scc_representative` lines sorted by node. `--condense`
@@ -34,6 +56,7 @@ use std::process::ExitCode;
 
 use contract_expand::graph::labels::condense_external;
 use contract_expand::prelude::*;
+use contract_expand::util::parse_size;
 
 struct Options {
     input: PathBuf,
@@ -50,11 +73,20 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: scc --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
-     \x20          [--backend file|mem] [--cache-blocks N]\n\
-     \x20          [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
-     \x20          [--scratch DIR] [--stats]\n\
-     \x20      scc verify [--scale smoke|full]"
+    "usage: scc run --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
+     \x20              [--backend file|mem] [--cache-blocks N]\n\
+     \x20              [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
+     \x20              [--scratch DIR] [--stats]\n\
+     \x20      scc plan --input graph.txt|graph.ceg [--mem 64M] [--block 64K]\n\
+     \x20              [--engine auto|semi-scc|ext-scc|ext-scc-op]\n\
+     \x20      scc index build --input graph.txt|graph.ceg --out graph.sccidx\n\
+     \x20              [--mem 64M] [--block 64K] [--backend file|mem] [--cache-blocks N]\n\
+     \x20              [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]\n\
+     \x20              [--condense (flag: embed the condensation DAG)] [--stats]\n\
+     \x20      scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]\n\
+     \x20      scc verify [--scale smoke|full]\n\
+     \x20      scc --version | -V\n\
+     \x20 (flat `scc --input ...` stays a byte-compatible alias for `scc run`)"
 }
 
 /// `scc verify [--scale smoke|full]` — run the differential conformance
@@ -90,25 +122,19 @@ fn run_verify(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-fn parse_size(s: &str) -> Result<usize, String> {
-    let (digits, mult) = match s.chars().last() {
-        Some('K') | Some('k') => (&s[..s.len() - 1], 1usize << 10),
-        Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
-        Some('G') | Some('g') => (&s[..s.len() - 1], 1 << 30),
-        _ => (s, 1),
-    };
-    digits
-        .parse::<usize>()
-        .map_err(|e| format!("bad size {s:?}: {e}"))
-        .and_then(|v| {
-            v.checked_mul(mult)
-                .ok_or_else(|| format!("bad size {s:?}: overflows"))
-        })
+/// Parses `--engine auto|semi-scc|ext-scc|ext-scc-op` values.
+fn parse_engine(v: &str) -> Result<Option<Engine>, String> {
+    if v == "auto" {
+        return Ok(None);
+    }
+    Engine::parse(v)
+        .map(Some)
+        .ok_or_else(|| format!("bad --engine {v:?}; use auto|semi-scc|ext-scc|ext-scc-op"))
 }
 
 /// `Ok(None)` means `--help` was requested: print usage and exit 0.
-fn parse_args() -> Result<Option<Options>, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut args = args.iter();
     let mut opts = Options {
         input: PathBuf::new(),
         out: None,
@@ -139,8 +165,8 @@ fn parse_args() -> Result<Option<Options>, String> {
                 opts.export_binary = Some(PathBuf::from(value("--export-binary")?))
             }
             "--scratch" => opts.scratch = Some(PathBuf::from(value("--scratch")?)),
-            "--mem" => opts.mem = parse_size(&value("--mem")?)?,
-            "--block" => opts.block = parse_size(&value("--block")?)?,
+            "--mem" => opts.mem = parse_size(value("--mem")?)?,
+            "--block" => opts.block = parse_size(value("--block")?)?,
             "--backend" => opts.backend = value("--backend")?.parse()?,
             "--cache-blocks" => {
                 let v = value("--cache-blocks")?;
@@ -158,14 +184,19 @@ fn parse_args() -> Result<Option<Options>, String> {
     if !have_input {
         return Err(format!("--input is required\n{}", usage()));
     }
-    if opts.block == 0 {
+    check_model(opts.mem, opts.block)?;
+    Ok(Some(opts))
+}
+
+/// The CLI-facing `M >= 2B` model check shared by every subcommand.
+fn check_model(mem: usize, block: usize) -> Result<(), String> {
+    if block == 0 {
         return Err("block size must be nonzero".into());
     }
-    match opts.block.checked_mul(2) {
-        Some(two_blocks) if opts.mem >= two_blocks => {}
-        _ => return Err("memory budget must be at least two blocks".into()),
+    match block.checked_mul(2) {
+        Some(two_blocks) if mem >= two_blocks => Ok(()),
+        _ => Err("memory budget must be at least two blocks".into()),
     }
-    Ok(Some(opts))
 }
 
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -261,18 +292,255 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("verify") {
-        return match run_verify(&argv[1..]) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("{msg}");
-                ExitCode::from(2)
-            }
+/// `scc plan` — print the planner's engine choice for an input without
+/// running anything. Deterministic stdout: graph size, engine, reason,
+/// predicted passes.
+fn run_plan(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<PathBuf> = None;
+    let mut mem = 64usize << 20;
+    let mut block = 64usize << 10;
+    let mut engine: Option<Engine> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
         };
+        match a.as_str() {
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--mem" => mem = parse_size(value("--mem")?)?,
+            "--block" => block = parse_size(value("--block")?)?,
+            "--engine" => engine = parse_engine(value("--engine")?)?,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown plan argument {other:?}\n{}", usage())),
+        }
     }
-    let opts = match parse_args() {
+    let input = input.ok_or_else(|| format!("--input is required\n{}", usage()))?;
+    check_model(mem, block)?;
+    let cfg = IoConfig::new(block, mem);
+
+    let plan_it = || -> Result<(u64, u64, Plan), Box<dyn std::error::Error>> {
+        let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
+            .source(GraphSource::from_path(&input))?;
+        if let Some(e) = engine {
+            session = session.engine(e);
+        }
+        let g = session.graph().expect("sourced");
+        Ok((g.n_nodes(), g.n_edges(), session.plan()?))
+    };
+    // Runtime failures (missing input, parse errors) exit 1 like every
+    // other subcommand; only usage errors take the exit-2 path above.
+    match plan_it() {
+        Ok((n_nodes, n_edges, plan)) => {
+            println!("graph: |V| = {n_nodes}, |E| = {n_edges}");
+            println!("{plan}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `scc index build` — run the planned engine and materialize the
+/// persistent queryable index artifact.
+fn run_index_build(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut scratch: Option<PathBuf> = None;
+    let mut mem = 64usize << 20;
+    let mut block = 64usize << 10;
+    let mut backend = BackendKind::File;
+    let mut cache_blocks: Option<usize> = None;
+    let mut engine: Option<Engine> = None;
+    let mut condense = false;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--scratch" => scratch = Some(PathBuf::from(value("--scratch")?)),
+            "--mem" => mem = parse_size(value("--mem")?)?,
+            "--block" => block = parse_size(value("--block")?)?,
+            "--backend" => backend = value("--backend")?.parse()?,
+            "--cache-blocks" => {
+                let v = value("--cache-blocks")?;
+                cache_blocks = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --cache-blocks {v:?}: {e}"))?,
+                );
+            }
+            "--engine" => engine = parse_engine(value("--engine")?)?,
+            "--condense" => condense = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown index build argument {other:?}\n{}", usage())),
+        }
+    }
+    let input = input.ok_or_else(|| format!("--input is required\n{}", usage()))?;
+    let out = out.ok_or_else(|| format!("--out is required\n{}", usage()))?;
+    check_model(mem, block)?;
+    let cfg = IoConfig::new(block, mem);
+    let env_opts = EnvOptions {
+        backend,
+        cache_blocks: cache_blocks.unwrap_or_else(|| cfg.blocks_in_memory()),
+    };
+
+    let build_it = || -> Result<(), Box<dyn std::error::Error>> {
+        let mut session = match &scratch {
+            Some(dir) => SccSession::open_in(dir, cfg, env_opts)?,
+            None => SccSession::open(cfg, env_opts)?,
+        }
+        .source(GraphSource::from_path(&input))?
+        .condensation(condense);
+        if let Some(e) = engine {
+            session = session.engine(e);
+        }
+        let g = session.graph().expect("sourced");
+        eprintln!(
+            "loaded {}: |V| = {}, |E| = {}",
+            input.display(),
+            g.n_nodes(),
+            g.n_edges()
+        );
+        let built = session.build_index(&out)?;
+        eprintln!(
+            "plan: engine={} predicted_passes={} ({})",
+            built.plan.engine, built.plan.predicted_passes, built.plan.reason
+        );
+        eprintln!(
+            "{} SCCs, {} engine block I/Os, {} index-build block I/Os",
+            built.run.n_sccs,
+            built.run.ios.total_ios(),
+            built.build_ios.total_ios()
+        );
+        eprintln!(
+            "index written to {}: {} nodes, {} components{}, {} bytes",
+            out.display(),
+            built.index.n_nodes(),
+            built.index.n_sccs(),
+            if built.index.has_condensation() {
+                format!(", {} condensation edges", built.index.n_dag_edges())
+            } else {
+                String::new()
+            },
+            built.index.len_bytes()
+        );
+        if stats {
+            eprintln!("engine I/O: {}", built.run.ios);
+            eprintln!(
+                "storage: {} backend, {} cache blocks; {}",
+                session.env().options().backend.name(),
+                session.env().options().cache_blocks,
+                session.env().phys()
+            );
+        }
+        Ok(())
+    };
+    match build_it() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `scc index query` — answer component queries from an artifact, no
+/// recomputation.
+fn run_index_query(args: &[String]) -> Result<ExitCode, String> {
+    let mut index: Option<PathBuf> = None;
+    let mut u: Option<u32> = None;
+    let mut v: Option<u32> = None;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let node = |name: &str, s: &str| -> Result<u32, String> {
+            s.parse::<u32>().map_err(|e| format!("bad {name} {s:?}: {e}"))
+        };
+        match a.as_str() {
+            "--index" => index = Some(PathBuf::from(value("--index")?)),
+            "-u" => u = Some(node("-u", value("-u")?)?),
+            "-v" => v = Some(node("-v", value("-v")?)?),
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown index query argument {other:?}\n{}", usage())),
+        }
+    }
+    let index = index.ok_or_else(|| format!("--index is required\n{}", usage()))?;
+    let u = u.ok_or_else(|| format!("-u is required\n{}", usage()))?;
+
+    let query_it = || -> Result<(), Box<dyn std::error::Error>> {
+        // Queries need O(1) memory: a minimal unpooled environment keeps the
+        // logical counters honest (every block read is visible).
+        let env = DiskEnv::new_temp_with(
+            IoConfig::new(4 << 10, 8 << 10),
+            EnvOptions::unpooled(),
+        )?;
+        let mut idx = SccIndex::open(&env, &index)?;
+        let open_ios = env.stats().snapshot();
+        println!("component_of({u}) = {}", idx.component_of(u)?);
+        println!("component_size({u}) = {}", idx.component_size(u)?);
+        if let Some(v) = v {
+            println!("same_component({u}, {v}) = {}", idx.same_component(u, v)?);
+        }
+        if stats {
+            eprintln!(
+                "index: {} nodes, {} components, {} bytes",
+                idx.n_nodes(),
+                idx.n_sccs(),
+                idx.len_bytes()
+            );
+            eprintln!("open I/O: {open_ios}");
+            eprintln!("query I/O: {}", env.stats().snapshot().since(&open_ios));
+        }
+        Ok(())
+    };
+    match query_it() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `scc index build|query` dispatch.
+fn run_index(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("build") => run_index_build(&args[1..]),
+        Some("query") => run_index_query(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown index subcommand {other:?}\n{}", usage())),
+        None => Err(format!("index requires build|query\n{}", usage())),
+    }
+}
+
+/// Flat-flag / `scc run` entry point (byte-compatible output).
+fn run_flat(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
         Ok(Some(o)) => o,
         Ok(None) => {
             println!("{}", usage());
@@ -289,5 +557,27 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let dispatch = |result: Result<ExitCode, String>| match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    };
+    match argv.first().map(String::as_str) {
+        Some("--version") | Some("-V") => {
+            println!("scc {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
+        Some("verify") => dispatch(run_verify(&argv[1..])),
+        Some("plan") => dispatch(run_plan(&argv[1..])),
+        Some("index") => dispatch(run_index(&argv[1..])),
+        Some("run") => run_flat(&argv[1..]),
+        _ => run_flat(&argv),
     }
 }

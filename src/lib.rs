@@ -8,24 +8,45 @@
 //!
 //! ## Quick start
 //!
+//! Computing SCCs is the *indexing step* of a [`session::SccSession`]: pick
+//! an I/O environment, point it at a graph, let the planner choose the
+//! regime (semi-external when the node array fits `M`, contraction
+//! otherwise), and materialize a persistent, queryable [`prelude::SccIndex`]
+//! that answers component queries in a bounded number of block reads —
+//! without ever recomputing SCCs.
+//!
 //! ```
 //! use contract_expand::prelude::*;
 //!
-//! // An I/O environment: 4 KiB blocks, 256 KiB of "main memory".
-//! let env = DiskEnv::new_temp(IoConfig::new(4 << 10, 256 << 10)).unwrap();
+//! // An I/O environment: 4 KiB blocks, 256 KiB of "main memory", pooled.
+//! let cfg = IoConfig::new(4 << 10, 256 << 10);
+//! let session = SccSession::open(cfg, EnvOptions::pooled(&cfg)).unwrap()
+//!     // 20k nodes need ~320 KiB of node state: contraction must run.
+//!     .source(GraphSource::generator(|env| gen::web_like(env, 20_000, 4.0, 42)))
+//!     .unwrap();
 //!
-//! // A synthetic web-like graph (20k nodes — node arrays exceed the budget).
-//! let graph = gen::web_like(&env, 20_000, 4.0, 42).unwrap();
+//! // The planner explains its engine choice before any I/O is spent.
+//! let plan = session.plan().unwrap();
+//! assert_eq!(plan.engine, Engine::ExtSccOp);
+//! assert!(plan.reason.contains("exceeds"));
 //!
-//! // Run Ext-SCC-Op (contraction + expansion with Section-VII reductions).
-//! let out = ExtScc::new(&env, ExtSccConfig::optimized()).run(&graph).unwrap();
-//! println!("{}", out.report); // per-iteration |V_i|, |E_i|, I/Os ...
-//! assert!(out.report.iterations() >= 1);
+//! // Build the persistent index (runs Ext-SCC-Op, writes the artifact,
+//! // reopens it through its checksum validation).
+//! let path = std::env::temp_dir().join(format!("ce-doc-{}.sccidx", std::process::id()));
+//! let mut built = session.build_index(&path).unwrap();
+//! assert_eq!(built.run.n_sccs, built.index.n_sccs());
 //!
-//! // Labels are an external file of (node, scc-representative), node-sorted.
-//! let labeling = SccLabeling::from_file(&out.labels, graph.n_nodes()).unwrap();
-//! assert_eq!(labeling.rep.len(), 20_000);
+//! // Point queries cost one or two block reads each, counted in the same
+//! // logical I/O model as the build.
+//! let rep = built.index.component_of(7).unwrap();
+//! assert!(built.index.same_component(7, rep).unwrap());
+//! assert!(built.index.component_size(7).unwrap() >= 1);
+//! std::fs::remove_file(&path).unwrap();
 //! ```
+//!
+//! The flat engine API is still there underneath — `ExtScc::new(&env,
+//! ExtSccConfig::optimized()).run(&graph)` — for ablations and benches that
+//! must pin a configuration.
 //!
 //! ## Crate map
 //!
@@ -33,19 +54,22 @@
 //! |-------|----------|
 //! | [`pager`] | storage substrate: pluggable block backends (file / in-memory) + counted buffer pool (LRU, pins, dirty write-back) |
 //! | [`extmem`] | I/O model: counted block files, external sort, merge joins, buffered repository tree |
-//! | [`graph`] | edge-list graphs, CSR, Tarjan/Kosaraju, workload generators |
-//! | [`semi_scc`] | semi-external base case (coloring and spanning-tree variants) |
+//! | [`graph`] | edge-list graphs, CSR, Tarjan/Kosaraju, workload generators, **engine planner** ([`graph::planner`]) and the **persistent [`graph::index::SccIndex`]** artifact |
+//! | [`semi_scc`] | semi-external base case (coloring and spanning-tree variants) + [`semi_scc::planner_for`] |
 //! | [`core`] | **the paper's contribution**: Ext-SCC / Ext-SCC-Op |
 //! | [`dfs_scc`] | external-DFS baseline (naive + BRT) |
 //! | [`em_scc`] | contraction-heuristic baseline with stall detection |
-//! | [`harness`] | differential conformance: a scenario matrix running every engine through the unified `SccAlgorithm` trait against in-memory oracles (`scc verify`) |
+//! | [`harness`] | differential conformance: a scenario matrix running every engine through the unified `SccAlgorithm` trait against in-memory oracles, plus planner-agreement and index round-trip checks (`scc verify`) |
+//! | [`session`] | the user-facing layer: [`session::SccSession`] (source → plan → build_index) over the planner and the index |
+//! | [`util`] | shared helpers ([`util::parse_size`]) |
 //!
 //! The model's **logical** I/O counters (`IoStats`, what the paper's figures
 //! plot) are independent of the storage substrate: pick a backend and a
-//! buffer-pool size per environment via [`prelude::EnvOptions`], read the
-//! **physical** transfer counters via `DiskEnv::phys()`, and the logical
-//! numbers stay bit-for-bit identical while wall-clock and physical
-//! transfers drop.
+//! buffer-pool size per environment via [`prelude::EnvOptions`] (or split
+//! one strict `M`-byte budget between pool and algorithm with
+//! `EnvOptions::strict`), read the **physical** transfer counters via
+//! `DiskEnv::phys()`, and the logical numbers stay bit-for-bit identical
+//! while wall-clock and physical transfers drop.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure in the paper's evaluation.
@@ -59,6 +83,9 @@ pub use ce_harness as harness;
 pub use ce_pager as pager;
 pub use ce_semi_scc as semi_scc;
 
+pub mod session;
+pub mod util;
+
 /// The common imports for applications.
 pub mod prelude {
     pub use ce_core::{ExtScc, ExtSccAlgo, ExtSccConfig, ExtSccError, RunReport, SccOutput};
@@ -67,9 +94,14 @@ pub mod prelude {
     pub use ce_extmem::{BackendKind, DiskEnv, EnvOptions, IoConfig, IoSnapshot, PhysSnapshot};
     pub use ce_graph::algo::{AlgoBudget, AlgoError, SccAlgorithm, SccRun};
     pub use ce_graph::gen;
+    pub use ce_graph::planner::{Engine, Plan, Planner};
     pub use ce_graph::{
-        CsrGraph, Edge, EdgeListGraph, KosarajuOracle, NodeId, SccLabel, SccLabeling, TarjanOracle,
+        CsrGraph, Edge, EdgeListGraph, KosarajuOracle, NodeId, SccIndex, SccLabel, SccLabeling,
+        TarjanOracle,
     };
     pub use ce_harness::HarnessScale;
-    pub use ce_semi_scc::{SemiSccAlgo, SemiSccKind};
+    pub use ce_semi_scc::{planner_for, SemiSccAlgo, SemiSccKind};
+
+    pub use crate::session::{GraphSource, IndexBuild, SccSession};
+    pub use crate::util::parse_size;
 }

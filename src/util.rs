@@ -1,0 +1,65 @@
+//! Small shared helpers for the CLI, the examples and embedding
+//! applications.
+
+/// Parses a byte size with an optional binary suffix: `"64"`, `"64K"`,
+/// `"64M"`, `"4G"` (suffixes are case-insensitive, powers of 1024).
+///
+/// One implementation for every `scc` subcommand and example — bare
+/// suffixes (`"K"`), non-digits and overflowing products are rejected with
+/// a message naming the offending input.
+///
+/// ```
+/// use contract_expand::util::parse_size;
+/// assert_eq!(parse_size("64K"), Ok(64 << 10));
+/// assert_eq!(parse_size("3m"), Ok(3 << 20));
+/// assert_eq!(parse_size("512"), Ok(512));
+/// assert!(parse_size("K").unwrap_err().contains("missing digits"));
+/// ```
+pub fn parse_size(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1usize << 10),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    if digits.is_empty() {
+        return Err(format!("bad size {s:?}: missing digits before the suffix"));
+    }
+    digits
+        .parse::<usize>()
+        .map_err(|e| format!("bad size {s:?}: {e}"))
+        .and_then(|v| {
+            v.checked_mul(mult)
+                .ok_or_else(|| format!("bad size {s:?}: overflows"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_parse_with_and_without_suffixes() {
+        assert_eq!(parse_size("0"), Ok(0));
+        assert_eq!(parse_size("123"), Ok(123));
+        assert_eq!(parse_size("2K"), Ok(2048));
+        assert_eq!(parse_size("2k"), Ok(2048));
+        assert_eq!(parse_size("64M"), Ok(64 << 20));
+        assert_eq!(parse_size("1G"), Ok(1 << 30));
+    }
+
+    #[test]
+    fn bad_sizes_are_rejected_with_clear_messages() {
+        for bare in ["K", "m", "G"] {
+            let err = parse_size(bare).unwrap_err();
+            assert!(err.contains("missing digits"), "{bare}: {err}");
+        }
+        assert!(parse_size("").unwrap_err().contains("missing digits"));
+        assert!(parse_size("lots").unwrap_err().contains("bad size"));
+        assert!(parse_size("12x").unwrap_err().contains("bad size"));
+        assert!(parse_size("-4K").unwrap_err().contains("bad size"));
+        assert!(parse_size("18446744073709551615K")
+            .unwrap_err()
+            .contains("overflows"));
+    }
+}

@@ -103,6 +103,257 @@ fn help_prints_usage_and_exits_zero() {
 }
 
 #[test]
+fn every_subcommand_accepts_help() {
+    for cmd in [
+        vec!["run", "--help"],
+        vec!["plan", "--help"],
+        vec!["index", "--help"],
+        vec!["index", "build", "--help"],
+        vec!["index", "query", "--help"],
+        vec!["verify", "--help"],
+        vec!["run", "-h"],
+        vec!["plan", "-h"],
+    ] {
+        let r = scc_bin().args(&cmd).output().unwrap();
+        assert_eq!(r.status.code(), Some(0), "{cmd:?} must exit 0");
+        assert!(
+            String::from_utf8_lossy(&r.stdout).contains("usage"),
+            "{cmd:?} must print usage"
+        );
+    }
+}
+
+#[test]
+fn version_flag_prints_crate_version() {
+    for flag in ["--version", "-V"] {
+        let r = scc_bin().arg(flag).output().unwrap();
+        assert_eq!(r.status.code(), Some(0), "{flag} must exit 0");
+        let out = String::from_utf8_lossy(&r.stdout);
+        assert_eq!(out.trim(), format!("scc {}", env!("CARGO_PKG_VERSION")), "{flag}");
+    }
+}
+
+#[test]
+fn run_subcommand_matches_flat_flags_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-run-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+
+    let flat = scc_bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--mem", "1M", "--block", "4K"])
+        .output()
+        .unwrap();
+    let sub = scc_bin()
+        .arg("run")
+        .arg("--input")
+        .arg(&input)
+        .args(["--mem", "1M", "--block", "4K"])
+        .output()
+        .unwrap();
+    assert!(flat.status.success() && sub.status.success());
+    assert_eq!(flat.stdout, sub.stdout, "label output must be byte-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_prints_a_deterministic_engine_choice() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-plan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+
+    // Roomy budget: the 5-node array fits -> Semi-SCC, with the reason.
+    let roomy = scc_bin()
+        .args(["plan", "--input"])
+        .arg(&input)
+        .args(["--mem", "64M"])
+        .output()
+        .unwrap();
+    assert!(roomy.status.success(), "{}", String::from_utf8_lossy(&roomy.stderr));
+    let out = String::from_utf8_lossy(&roomy.stdout);
+    assert!(out.contains("graph: |V| = 5, |E| = 6"), "{out}");
+    assert!(out.contains("engine: Semi-SCC"), "{out}");
+    assert!(out.contains("reason: "), "{out}");
+    assert!(out.contains("fits"), "{out}");
+    assert!(out.contains("predicted contraction passes: 0"), "{out}");
+
+    // Deterministic: a second run prints the same bytes.
+    let again = scc_bin()
+        .args(["plan", "--input"])
+        .arg(&input)
+        .args(["--mem", "64M"])
+        .output()
+        .unwrap();
+    assert_eq!(roomy.stdout, again.stdout);
+
+    // Tight budget: the node array does not fit -> Ext-SCC-Op.
+    let tight = scc_bin()
+        .args(["plan", "--input"])
+        .arg(&input)
+        .args(["--mem", "512", "--block", "256"])
+        .output()
+        .unwrap();
+    assert!(tight.status.success());
+    let out = String::from_utf8_lossy(&tight.stdout);
+    assert!(out.contains("engine: Ext-SCC-Op"), "{out}");
+    assert!(out.contains("exceeds"), "{out}");
+
+    // An override is honoured and recorded in the reason.
+    let forced = scc_bin()
+        .args(["plan", "--input"])
+        .arg(&input)
+        .args(["--mem", "64M", "--engine", "ext-scc"])
+        .output()
+        .unwrap();
+    assert!(forced.status.success());
+    let out = String::from_utf8_lossy(&forced.stdout);
+    assert!(out.contains("engine: Ext-SCC\n"), "{out}");
+    assert!(out.contains("override"), "{out}");
+
+    // Bad engine names are rejected as usage errors (exit 2) ...
+    let bad = scc_bin()
+        .args(["plan", "--input"])
+        .arg(&input)
+        .args(["--engine", "quantum"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bad --engine"));
+
+    // ... while runtime failures exit 1, like every other subcommand.
+    let missing = scc_bin()
+        .args(["plan", "--input", "/definitely/not/here.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("error"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_build_then_query_answers_without_recomputing() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-idx-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    // {0,1,2} and {3,4} strongly connected, 2 -> 3 between them.
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+    let idx = dir.join("g.sccidx");
+
+    let build = scc_bin()
+        .args(["index", "build", "--input"])
+        .arg(&input)
+        .arg("--out")
+        .arg(&idx)
+        .args(["--mem", "1M", "--block", "4K", "--condense"])
+        .output()
+        .unwrap();
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    let stderr = String::from_utf8_lossy(&build.stderr);
+    assert!(stderr.contains("plan: engine="), "{stderr}");
+    assert!(stderr.contains("index written to"), "{stderr}");
+    assert!(stderr.contains("2 components"), "{stderr}");
+    assert!(stderr.contains("condensation edges"), "{stderr}");
+    assert!(idx.is_file(), "artifact persisted");
+
+    // Delete the input: queries must be answered from the artifact alone.
+    std::fs::remove_file(&input).unwrap();
+
+    let query = scc_bin()
+        .args(["index", "query", "--index"])
+        .arg(&idx)
+        .args(["-u", "0", "-v", "1", "--stats"])
+        .output()
+        .unwrap();
+    assert!(query.status.success(), "{}", String::from_utf8_lossy(&query.stderr));
+    let out = String::from_utf8_lossy(&query.stdout);
+    assert!(out.contains("component_of(0) = 0"), "{out}");
+    assert!(out.contains("component_size(0) = 3"), "{out}");
+    assert!(out.contains("same_component(0, 1) = true"), "{out}");
+    let stderr = String::from_utf8_lossy(&query.stderr);
+    assert!(stderr.contains("query I/O: "), "--stats must report logical query I/O: {stderr}");
+    assert!(stderr.contains("open I/O: "), "{stderr}");
+
+    let cross = scc_bin()
+        .args(["index", "query", "--index"])
+        .arg(&idx)
+        .args(["-u", "0", "-v", "3"])
+        .output()
+        .unwrap();
+    assert!(cross.status.success());
+    assert!(String::from_utf8_lossy(&cross.stdout).contains("same_component(0, 3) = false"));
+
+    // Out-of-range nodes and corrupt artifacts fail cleanly.
+    let oob = scc_bin()
+        .args(["index", "query", "--index"])
+        .arg(&idx)
+        .args(["-u", "99"])
+        .output()
+        .unwrap();
+    assert_eq!(oob.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&oob.stderr).contains("out of range"));
+
+    let mut bytes = std::fs::read(&idx).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&idx, &bytes).unwrap();
+    let corrupt = scc_bin()
+        .args(["index", "query", "--index"])
+        .arg(&idx)
+        .args(["-u", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(corrupt.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&corrupt.stderr).contains("checksum"),
+        "corruption must surface as a checksum error: {}",
+        String::from_utf8_lossy(&corrupt.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_subcommand_rejects_bad_usage() {
+    let r = scc_bin().args(["index"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("build|query"));
+
+    let r = scc_bin().args(["index", "rebuild"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+
+    let r = scc_bin().args(["index", "build", "--input", "g.txt"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("--out is required"));
+
+    let r = scc_bin().args(["index", "query", "--index", "x.sccidx"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("-u is required"));
+
+    let r = scc_bin()
+        .args(["index", "query", "--index", "x.sccidx", "-u", "abc"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("bad -u"));
+}
+
+#[test]
+fn bare_size_suffixes_are_rejected() {
+    let r = scc_bin()
+        .args(["--input", "g.txt", "--mem", "K"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("missing digits"), "{stderr}");
+}
+
+#[test]
 fn malformed_edge_list_is_reported() {
     let dir = std::env::temp_dir().join(format!("scc-cli-bad-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

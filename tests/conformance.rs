@@ -32,9 +32,10 @@ fn full_matrix_is_green() {
         report.rows.iter().map(|r| r.storage).collect();
     assert_eq!(
         storages.len(),
-        4,
-        "2 backends x 2 cache settings expected: {storages:?}"
+        5,
+        "2 backends x 2 cache settings + the strict-budget scenario expected: {storages:?}"
     );
+    assert!(storages.contains("strict"), "strict M-total scenario present");
     assert!(report.algos.len() >= 7, "5 engines + 2 oracles: {:?}", report.algos);
     let (runs, pass, dnf, fail) = report.tally();
     assert_eq!(runs, pass + dnf + fail);
@@ -43,6 +44,18 @@ fn full_matrix_is_green() {
         report.determinism_groups > 0,
         "the logical-I/O determinism check must actually compare groups"
     );
+
+    // The planner layer: one plan per (family x budget), the planned engine
+    // passed everywhere, and every scenario round-tripped an index.
+    assert_eq!(report.planner_rows.len(), families.len() * {
+        let budgets: std::collections::BTreeSet<&str> =
+            report.rows.iter().map(|r| r.budget).collect();
+        budgets.len()
+    });
+    assert!(report.planner_violations.is_empty(), "{:?}", report.planner_violations);
+    assert_eq!(report.index_scenarios, report.rows.len());
+    assert!(report.index_violations.is_empty(), "{:?}", report.index_violations);
+    assert!(report.strict_note.contains("pool"), "{}", report.strict_note);
 }
 
 #[test]

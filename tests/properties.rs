@@ -126,6 +126,54 @@ proptest! {
         prop_assert_eq!(&deduped, &items);
     }
 
+    /// The persistent `SccIndex` round-trips: build from any multigraph's
+    /// Tarjan labeling, close, reopen in a fresh environment, and every
+    /// `component_of` / `component_size` / `same_component` answer matches
+    /// the oracle.
+    #[test]
+    fn scc_index_roundtrips_against_tarjan((n, edge_list) in arb_graph()) {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let env = tiny_env();
+        let g = EdgeListGraph::from_slice(&env, n as u64, &edge_list).unwrap();
+        let edges = g.edges_in_memory().unwrap();
+        let truth = tarjan_scc(&CsrGraph::from_edges(n as u64, &edges));
+        let reps = truth.canonical_reps();
+
+        let run = TarjanOracle.run(&env, &g).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "ce-prop-idx-{}-{}.sccidx",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let n_sccs = SccIndex::build(&env, &path, &run.labels, n as u64, None).unwrap();
+        prop_assert_eq!(n_sccs, truth.count as u64);
+
+        // Reopen in a fresh environment: nothing cached from the build.
+        let fresh = tiny_env();
+        let mut idx = SccIndex::open(&fresh, &path).unwrap();
+        prop_assert_eq!(idx.n_nodes(), n as u64);
+        prop_assert_eq!(idx.n_sccs(), truth.count as u64);
+        let mut size_of: std::collections::HashMap<u32, u64> = Default::default();
+        for &r in &reps {
+            *size_of.entry(r).or_insert(0) += 1;
+        }
+        for v in 0..n {
+            prop_assert_eq!(idx.component_of(v).unwrap(), reps[v as usize], "node {}", v);
+            prop_assert_eq!(
+                idx.component_size(v).unwrap(),
+                size_of[&reps[v as usize]],
+                "size of node {}'s component", v
+            );
+        }
+        for (u, v) in [(0, n - 1), (n / 2, n / 2), (1 % n, n / 3)] {
+            prop_assert_eq!(
+                idx.same_component(u, v).unwrap(),
+                reps[u as usize] == reps[v as usize]
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
     /// BRT behaves like a multimap under insert/extract/retire.
     #[test]
     fn brt_model(ops in prop::collection::vec((0u8..3, 0u32..16, any::<u32>()), 1..300)) {
