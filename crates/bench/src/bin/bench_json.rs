@@ -1,0 +1,134 @@
+//! Bench trajectory emitter: runs every engine on a fixed smoke-scale
+//! workload set and writes the per-engine logical/physical I/O counts and
+//! wall times to `BENCH_<tag>.json`.
+//!
+//! The workloads are `ce_harness::smoke_workloads()` — the conformance
+//! matrix's own smoke generators — under its tight memory regime
+//! (`ce_harness::tight_budget`, contraction genuinely runs), so the
+//! logical-I/O column is deterministic and measures the exact scenario the
+//! golden pins: two runs of the same binary produce identical counts, and
+//! the JSON files committed per PR form a trajectory of the repository's
+//! I/O efficiency over time (`BENCH_pr4-baseline.json` vs `BENCH_pr5.json`
+//! records the streaming-pipeline win, for example).
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin bench_json -- --tag smoke [--out DIR]
+//! ```
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Duration;
+
+use ce_bench::runner::{run_algo, Outcome, RunBudget};
+use ce_extmem::{DiskEnv, IoConfig};
+use ce_graph::algo::SccAlgorithm;
+use ce_harness::{smoke_workloads as workloads, tight_budget, MATRIX_BLOCK as BLOCK};
+
+/// The external engines of the conformance registry — derived from
+/// `ce_harness::registry()` so a newly registered engine shows up in the
+/// trajectory automatically; only the in-memory oracles are dropped (they
+/// run no external I/O worth tracking).
+fn engines() -> Vec<Box<dyn SccAlgorithm>> {
+    ce_harness::registry()
+        .into_iter()
+        .filter(|a| !matches!(a.name(), "Tarjan" | "Kosaraju"))
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() -> std::io::Result<()> {
+    let mut tag = String::new();
+    let mut out_dir = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tag" => tag = args.next().unwrap_or_default(),
+            "--out" => out_dir = args.next().unwrap_or_default(),
+            "--help" | "-h" => {
+                println!("usage: bench_json --tag <tag> [--out <dir>]");
+                return Ok(());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if tag.is_empty() || out_dir.is_empty() {
+        eprintln!("usage: bench_json --tag <tag> [--out <dir>]");
+        std::process::exit(2);
+    }
+
+    let budget = RunBudget::capped(50_000_000, Duration::from_secs(600));
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"tag\": \"{}\",", json_escape(&tag)).unwrap();
+    writeln!(json, "  \"block_size\": {BLOCK},").unwrap();
+    writeln!(json, "  \"budget_regime\": \"tight\",").unwrap();
+    writeln!(json, "  \"workloads\": [").unwrap();
+
+    let workloads = workloads();
+    for (wi, (family, n, build)) in workloads.iter().enumerate() {
+        let mem = tight_budget(*n);
+        println!("== {family} ({n} nodes, {mem} B budget) ==");
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"family\": \"{family}\",").unwrap();
+        writeln!(json, "      \"n_nodes\": {n},").unwrap();
+        writeln!(json, "      \"mem_budget\": {mem},").unwrap();
+        writeln!(json, "      \"engines\": [").unwrap();
+        let engines = engines();
+        for (ei, algo) in engines.iter().enumerate() {
+            let env = DiskEnv::new_temp(IoConfig::new(BLOCK, mem))?;
+            let g = build(&env)?;
+            let phys0 = env.phys();
+            let m = run_algo(&env, &g, algo.as_ref(), &budget);
+            let phys = env.phys().since(&phys0);
+            let (outcome, n_sccs) = match &m.outcome {
+                Outcome::Ok(n) => ("ok", *n as i64),
+                Outcome::Inf => ("inf", -1),
+                Outcome::Dnf(_) => ("dnf", -1),
+            };
+            println!(
+                "  {:<12} {:>4}  logical {:>8}  physical {:>8}  {:>9.2?}",
+                m.algo,
+                outcome,
+                m.ios,
+                phys.transfers(),
+                m.wall
+            );
+            writeln!(json, "        {{").unwrap();
+            writeln!(json, "          \"name\": \"{}\",", json_escape(m.algo)).unwrap();
+            writeln!(json, "          \"outcome\": \"{outcome}\",").unwrap();
+            writeln!(json, "          \"n_sccs\": {n_sccs},").unwrap();
+            writeln!(json, "          \"logical_ios\": {},", m.ios).unwrap();
+            writeln!(json, "          \"logical_rand_ios\": {},", m.rand_ios).unwrap();
+            writeln!(json, "          \"physical_transfers\": {},", phys.transfers()).unwrap();
+            writeln!(json, "          \"wall_ms\": {:.3}", m.wall.as_secs_f64() * 1e3).unwrap();
+            write!(json, "        }}").unwrap();
+            writeln!(json, "{}", if ei + 1 < engines.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(json, "      ]").unwrap();
+        write!(json, "    }}").unwrap();
+        writeln!(json, "{}", if wi + 1 < workloads.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::create_dir_all(&out_dir)?;
+    let path = std::path::Path::new(&out_dir).join(format!("BENCH_{tag}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -5,7 +5,7 @@ use std::fmt;
 use std::io;
 use std::time::{Duration, Instant};
 
-use ce_extmem::{anti_join, sort_dedup_by_key, DiskEnv, ExtFile, IoSnapshot};
+use ce_extmem::{anti_join, sort_dedup_streaming_by_key, DiskEnv, ExtFile, IoSnapshot};
 use ce_graph::types::SccLabel;
 use ce_graph::EdgeListGraph;
 use ce_semi_scc::{mem_required, semi_scc, SemiSccKind, SemiSccReport};
@@ -477,10 +477,11 @@ impl ExtScc {
             });
         }
 
-        // Count distinct SCCs (one extra sort over |V| label records).
-        let distinct = sort_dedup_by_key(env, &scc_cur, "scc-ids", |l: &SccLabel| l.scc)?;
-        let n_sccs = distinct.len();
-        drop(distinct);
+        // Count distinct SCCs: sort the |V| label records by SCC id but
+        // leave the final merge streaming — the count consumes the merged
+        // run heads directly, so no deduplicated file is ever written.
+        let n_sccs =
+            sort_dedup_streaming_by_key(env, &scc_cur, "scc-ids", |l: &SccLabel| l.scc)?.count()?;
 
         let report = RunReport {
             contraction,

@@ -14,11 +14,20 @@
 //! out-side. A final three-way merge over the removed-node list intersects
 //! the two sorted label sets per node.
 //!
+//! The whole augment chain is *fused*: each sort streams into the next join
+//! and the final `(v, scc)` sort hands its merged runs straight to the
+//! three-way merge's [`GroupCursor`], so none of the per-side intermediates
+//! (`E_del` re-sorted, the `(v, scc)` pairs, their sorted form) is ever
+//! materialized.
+//!
 //! Cost: `O(scan(|V_{i+1}|) + sort(|E_i|) + sort(|V_i|))` (Theorem 6.1).
 
 use std::io;
 
-use ce_extmem::{lookup_join, merge_union, sort_dedup_by_key, sort_by_key, DiskEnv, ExtFile, GroupCursor};
+use ce_extmem::{
+    lookup_join_stream, merge_union, sort_dedup_streaming_by_key, sort_streaming_by_key, DiskEnv,
+    ExtFile, GroupCursor, SortedRuns,
+};
 use ce_graph::types::{Edge, SccLabel};
 
 /// The per-level files the driver retains from contraction for use here.
@@ -55,17 +64,18 @@ pub fn expand(
         singletons: 0,
     };
 
-    // augment(E): in-neighbour SCC labels per removed node.
+    // augment(E): in-neighbour SCC labels per removed node (streamed).
     let inlab = augment_side(env, &level.edel_in, scc_next, Side::In)?;
-    // augment(Ē): out-neighbour SCC labels per removed node.
+    // augment(Ē): out-neighbour SCC labels per removed node (streamed).
     let outlab = augment_side(env, &level.odel, scc_next, Side::Out)?;
 
-    // Line 4: one merged scan computes SCC(v) per removed v.
+    // Line 4: one merged scan computes SCC(v) per removed v, pulling both
+    // label streams' final merges directly.
     let scc_del = {
         let mut w = env.writer::<SccLabel>("scc-del")?;
         let mut removed = level.removed.reader()?;
-        let mut ins = GroupCursor::new(&inlab, |r: &NbrLab| r.0)?;
-        let mut outs = GroupCursor::new(&outlab, |r: &NbrLab| r.0)?;
+        let mut ins = GroupCursor::new(inlab, |r: &NbrLab| r.0)?;
+        let mut outs = GroupCursor::new(outlab, |r: &NbrLab| r.0)?;
         let mut in_buf: Vec<NbrLab> = Vec::new();
         let mut out_buf: Vec<NbrLab> = Vec::new();
         while let Some(v) = removed.next()? {
@@ -109,46 +119,38 @@ enum Side {
 
 /// The paper's `augment` procedure (Algorithm 5 lines 8–14): produce
 /// `(removed node, neighbour SCC)` sorted by `(node, scc)` with duplicates
-/// eliminated.
+/// eliminated — returned as the formed runs of an elided sort for the
+/// caller's group cursor to pull. Nothing in this chain is materialized:
+/// the neighbour-order sort streams into the label join, and the join
+/// streams into run formation of the `(node, scc)` sort.
 fn augment_side(
     env: &DiskEnv,
     del_edges: &ExtFile<Edge>,
     scc_next: &ExtFile<SccLabel>,
     side: Side,
-) -> io::Result<ExtFile<NbrLab>> {
-    // Sort by the cover-side endpoint to join with SCC_{i+1} (lines 11-12).
-    let (by_nbr, label): (ExtFile<Edge>, &str) = match side {
+) -> io::Result<SortedRuns<NbrLab, NbrLab, impl Fn(&NbrLab) -> NbrLab + Copy>> {
+    // Function pointers (not closures) so both sides share one chain type.
+    type Nbr = fn(&Edge) -> u32;
+    type Emit = fn(Edge, SccLabel) -> NbrLab;
+    let (nbr, emit, sort_label, label): (Nbr, Emit, &str, &str) = match side {
         Side::In => (
-            sort_by_key(env, del_edges, "aug-in-by-src", |e: &Edge| e.src)?,
+            |e| e.src,
+            |e, l| (e.dst, l.scc), // (removed v, SCC(u))
+            "aug-in-by-src",
             "aug-in",
         ),
         Side::Out => (
-            sort_by_key(env, del_edges, "aug-out-by-dst", |e: &Edge| e.dst)?,
+            |e| e.dst,
+            |e, l| (e.src, l.scc), // (removed v, SCC(w))
+            "aug-out-by-dst",
             "aug-out",
         ),
     };
-    let pairs: ExtFile<NbrLab> = match side {
-        Side::In => lookup_join(
-            env,
-            label,
-            &by_nbr,
-            |e| e.src,
-            scc_next,
-            |l| l.node,
-            |e, l| (e.dst, l.scc), // (removed v, SCC(u))
-        )?,
-        Side::Out => lookup_join(
-            env,
-            label,
-            &by_nbr,
-            |e| e.dst,
-            scc_next,
-            |l| l.node,
-            |e, l| (e.src, l.scc), // (removed v, SCC(w))
-        )?,
-    };
+    // Lines 11-12: sort by the cover-side endpoint, join with SCC_{i+1}.
+    let by_nbr = sort_streaming_by_key(env, del_edges, sort_label, nbr)?;
+    let pairs = lookup_join_stream(by_nbr, nbr, scc_next, |l| l.node, emit)?;
     // Line 13: sort by (removed node, scc); dedup repeated labels.
-    sort_dedup_by_key(env, &pairs, &format!("{label}-sorted"), |r: &NbrLab| *r)
+    sort_dedup_streaming_by_key(env, pairs, &format!("{label}-sorted"), |r: &NbrLab| *r)
 }
 
 /// Intersection of two `(v, scc)` groups sharing the same `v`, both sorted by

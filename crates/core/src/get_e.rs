@@ -22,7 +22,10 @@
 
 use std::io;
 
-use ce_extmem::{anti_join, semi_join, sort_by_key, DiskEnv, ExtFile, GroupCursor};
+use ce_extmem::{
+    anti_join, semi_join_stream, sort_by_key, sort_streaming_by_key, DiskEnv, ExtFile, GroupCursor,
+    SortedStream,
+};
 use ce_graph::types::Edge;
 
 use crate::ops::EdgeOrders;
@@ -40,7 +43,8 @@ pub struct GetEOptions {
 /// Output of one Get-E run.
 #[derive(Debug)]
 pub struct GetEResult {
-    /// `E_{i+1}` (unsorted concatenation of preserved + bypass edges).
+    /// `E_{i+1}` (unsorted; bypass edges followed by preserved edges,
+    /// written in one pass).
     pub edges: ExtFile<Edge>,
     /// In-edges of removed nodes, sorted by `(removed dst, src)` — retained
     /// for the expansion phase, which needs exactly this set (Algorithm 5).
@@ -68,22 +72,30 @@ pub fn get_e(
     let mut odel = anti_join(env, "odel", &orders.eout, |e| e.src, cover, |&v| v)?;
 
     if opts.filter_endpoints {
-        // Keep only bypass endpoints that survive in the cover (Type-1 mode).
-        let tmp = sort_by_key(env, &edel_in, "edel-by-src", Edge::by_src)?;
-        let kept = semi_join(env, "edel-kept", &tmp, |e| e.src, cover, |&v| v)?;
-        edel_in = sort_by_key(env, &kept, "edel-final", Edge::by_dst)?;
+        // Keep only bypass endpoints that survive in the cover (Type-1
+        // mode). Fully fused: re-sort streams into the semi-join, whose
+        // survivors stream into the restoring sort's run formation — only
+        // the final (multi-reader) files materialize.
+        let tmp = sort_streaming_by_key(env, &edel_in, "edel-by-src", Edge::by_src)?;
+        let kept = semi_join_stream(tmp, |e| e.src, cover, |&v| v)?;
+        edel_in = sort_by_key(env, kept, "edel-final", Edge::by_dst)?;
 
-        let tmp = sort_by_key(env, &odel, "odel-by-dst", Edge::by_dst)?;
-        let kept = semi_join(env, "odel-kept", &tmp, |e| e.dst, cover, |&v| v)?;
-        odel = sort_by_key(env, &kept, "odel-final", Edge::by_src)?;
+        let tmp = sort_streaming_by_key(env, &odel, "odel-by-dst", Edge::by_dst)?;
+        let kept = semi_join_stream(tmp, |e| e.dst, cover, |&v| v)?;
+        odel = sort_by_key(env, kept, "odel-final", Edge::by_src)?;
     }
+
+    // Lines 5-8 and 9-12 write one shared output: bypass edges first, then
+    // the preserved edges streamed from their fused semi-join chain. The
+    // old `eadd`/`epre` intermediates and the final concat pass are gone —
+    // `E_{i+1}` is written exactly once.
+    let mut n_add = 0u64;
+    let mut max_group = 0u64;
+    let mut w = env.writer::<Edge>("enext")?;
 
     // Lines 5-8: bypass edges — merge the two group streams on the removed
     // node and emit the cross product of (in-neighbours × out-neighbours).
-    let mut n_add = 0u64;
-    let mut max_group = 0u64;
-    let eadd = {
-        let mut w = env.writer::<Edge>("eadd")?;
+    {
         let mut ins = GroupCursor::new(&edel_in, |e: &Edge| e.dst)?;
         let mut outs = GroupCursor::new(&odel, |e: &Edge| e.src)?;
         let mut in_buf: Vec<Edge> = Vec::new();
@@ -120,19 +132,24 @@ pub fn get_e(
             }
             out_key = outs.next_group(&mut out_buf)?;
         }
-        w.finish()?
-    };
+    }
 
-    // Lines 9-11: preserved edges with both endpoints in the cover.
-    let p1 = semi_join(env, "epre-src", &orders.eout, |e| e.src, cover, |&v| v)?;
-    let p2 = sort_by_key(env, &p1, "epre-by-dst", Edge::by_dst)?;
-    drop(p1);
-    let epre = semi_join(env, "epre", &p2, |e| e.dst, cover, |&v| v)?;
-    drop(p2);
-    let n_pre = epre.len();
+    // Lines 9-11: preserved edges with both endpoints in the cover — the
+    // first semi-join streams into the re-sort, whose merged output streams
+    // into the second semi-join, whose survivors land in the shared writer.
+    let mut n_pre = 0u64;
+    {
+        let p1 = semi_join_stream(&orders.eout, |e| e.src, cover, |&v| v)?;
+        let p2 = sort_streaming_by_key(env, p1, "epre-by-dst", Edge::by_dst)?;
+        let mut epre = semi_join_stream(p2, |e| e.dst, cover, |&v| v)?;
+        while let Some(e) = epre.next()? {
+            w.push(e)?;
+            n_pre += 1;
+        }
+    }
 
-    // Line 12: union.
-    let edges = ce_extmem::join::concat(env, "enext", &[&epre, &eadd])?;
+    // Line 12: union — already interleaved into the single writer.
+    let edges = w.finish()?;
     Ok(GetEResult {
         edges,
         edel_in,

@@ -16,12 +16,19 @@
 //!    not be added for its sake;
 //! 4. sort + dedup (line 10).
 //!
-//! Cost: `O(sort(|E_i|) + sort(|V_i|))` I/Os (Theorem 5.1).
+//! Cost: `O(sort(|E_i|) + sort(|V_i|))` I/Os (Theorem 5.1) — with the
+//! augmented-edge chain fully fused: `E_d1` streams out of the first `✶`
+//! straight into run formation, and `E_d2` streams out of the second `✶`
+//! straight into the cover scan, so neither augmented edge file is ever
+//! materialized (they would be the largest intermediates of the whole
+//! pipeline at 16 and 24 bytes per edge).
 
 use std::collections::{BTreeSet, HashSet};
 use std::io;
 
-use ce_extmem::{lookup_join, sort_by_key, sort_dedup_by_key, DiskEnv, ExtFile};
+use ce_extmem::{
+    lookup_join_stream, sort_dedup_by_key, sort_streaming_by_key, DiskEnv, ExtFile, SortedStream,
+};
 use ce_graph::edgelist::degree_table_from_sorted;
 
 use crate::ops::EdgeOrders;
@@ -121,38 +128,33 @@ pub fn get_v(
     stats.candidates = vd.len();
 
     // Line 5: augment deg(u) onto each out-edge (drops edges whose source
-    // was Type-1-filtered; such edges cannot lie on any cycle).
-    let ed1: ExtFile<EdgeAug1> = lookup_join(
-        env,
-        "ed1",
+    // was Type-1-filtered; such edges cannot lie on any cycle). The join
+    // output streams directly into run formation of the line-6 sort.
+    let ed1 = lookup_join_stream(
         &orders.eout,
         |e| e.src,
         &vd,
         |d| d.node,
-        |e, d| (e.src, d.deg_in, d.deg_out, e.dst),
+        |e, d| -> EdgeAug1 { (e.src, d.deg_in, d.deg_out, e.dst) },
     )?;
 
-    // Line 6: re-sort by the non-augmented endpoint.
-    let ed1s = sort_by_key(env, &ed1, "ed1s", |r: &EdgeAug1| r.3)?;
-    drop(ed1);
+    // Line 6: re-sort by the non-augmented endpoint; the final merge is
+    // elided into the line-7 join.
+    let ed1s = sort_streaming_by_key(env, ed1, "ed1s", |r: &EdgeAug1| r.3)?;
 
-    // Line 7: augment deg(v).
-    let ed2: ExtFile<EdgeAug2> = lookup_join(
-        env,
-        "ed2",
-        &ed1s,
+    // Line 7: augment deg(v); the augmented edges stream into the cover scan.
+    let mut ed2 = lookup_join_stream(
+        ed1s,
         |r| r.3,
         &vd,
         |d| d.node,
-        |r, d| (r.0, r.1, r.2, r.3, d.deg_in, d.deg_out),
+        |r, d| -> EdgeAug2 { (r.0, r.1, r.2, r.3, d.deg_in, d.deg_out) },
     )?;
-    drop(ed1s);
 
     // Lines 8-9: keep the `>`-larger endpoint of every edge.
     let mut dict = BoundedDict::new(opts.order, opts.type2_capacity);
     let mut raw = env.writer::<u32>("cover-raw")?;
-    let mut r = ed2.reader()?;
-    while let Some((u, diu, dou, v, div, dov)) = r.next()? {
+    while let Some((u, diu, dou, v, div, dov)) = ed2.next()? {
         if u == v {
             // Self-loops do not constrain the cover: `v` reaches itself with
             // or without the loop, and removing `v` just deletes it. Lemma
@@ -178,7 +180,6 @@ pub fn get_v(
             dict.insert(&winner);
         }
     }
-    drop(ed2);
 
     // Line 10: sort and eliminate duplicates.
     let raw = raw.finish()?;

@@ -342,8 +342,11 @@ pub fn dfs_scc(
     let labels = sort_by_key(env, &labels_unsorted, "dfs-labels-sorted", |l: &SccLabel| {
         l.node
     })?;
-    let distinct = ce_extmem::sort_dedup_by_key(env, &labels, "dfs-nscc", |l: &SccLabel| l.scc)?;
-    let n_sccs = distinct.len();
+    drop(labels_unsorted);
+    // Distinct-SCC count: stream the dedup merge, write nothing.
+    let n_sccs =
+        ce_extmem::sort_dedup_streaming_by_key(env, &labels, "dfs-nscc", |l: &SccLabel| l.scc)?
+            .count()?;
 
     Ok((
         labels,

@@ -22,7 +22,8 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use ce_extmem::{
-    left_lookup_join, sort_by_key, sort_dedup_by_key, DiskEnv, ExtFile, IoSnapshot,
+    left_lookup_join_stream, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key,
+    sort_streaming_by_key, DiskEnv, ExtFile, IoSnapshot, SortedStream,
 };
 use ce_graph::csr::CsrGraph;
 use ce_graph::tarjan::tarjan_scc;
@@ -227,53 +228,40 @@ pub fn em_scc(
         let contraction = sort_dedup_by_key(env, &pairs, "em-contract", |l: &SccLabel| l.node)?;
         drop(pairs);
 
-        // Pass 2: rewrite edges through the contraction map.
-        let by_src: ExtFile<Edge> = left_lookup_join(
-            env,
-            "em-rw-src",
+        // Pass 2: rewrite edges through the contraction map — one fused
+        // stream chain (rewrite src -> re-sort by dst -> rewrite dst ->
+        // drop self-loops) whose only materialization is the final sorted
+        // deduplicated edge file for the next iteration.
+        let by_src = left_lookup_join_stream(
             &edges,
             |e| e.src,
             &contraction,
             |l| l.node,
-            |e, m| Edge::new(m.map_or(e.src, |l| l.scc), e.dst),
+            |e: Edge, m| Edge::new(m.map_or(e.src, |l: SccLabel| l.scc), e.dst),
         )?;
-        let by_dst_sorted = sort_by_key(env, &by_src, "em-rw-s", Edge::by_dst)?;
-        drop(by_src);
-        let rewritten: ExtFile<Edge> = left_lookup_join(
-            env,
-            "em-rw-dst",
-            &by_dst_sorted,
+        let by_dst_sorted = sort_streaming_by_key(env, by_src, "em-rw-s", Edge::by_dst)?;
+        let rewritten = left_lookup_join_stream(
+            by_dst_sorted,
             |e| e.dst,
             &contraction,
             |l| l.node,
-            |e, m| Edge::new(e.src, m.map_or(e.dst, |l| l.scc)),
+            |e: Edge, m| Edge::new(e.src, m.map_or(e.dst, |l: SccLabel| l.scc)),
         )?;
-        drop(by_dst_sorted);
-        // Drop collapsed self-loops, dedup parallels, restore (src,dst) order.
-        let cleaned = {
-            let mut r = rewritten.reader()?;
-            let mut w = env.writer::<Edge>("em-clean")?;
-            while let Some(e) = r.next()? {
-                if !e.is_loop() {
-                    w.push(e)?;
-                }
-            }
-            w.finish()?
-        };
-        edges = sort_dedup_by_key(env, &cleaned, "em-next", Edge::by_src)?;
+        let cleaned = rewritten.filter(|e| !e.is_loop());
+        edges = sort_dedup_by_key(env, cleaned, "em-next", Edge::by_src)?;
 
-        // Pass 3: compose the global mapping with this contraction.
-        let by_cur = sort_by_key(env, &mapping, "em-map-bycur", |l: &SccLabel| l.scc)?;
-        let composed: ExtFile<SccLabel> = left_lookup_join(
-            env,
-            "em-map-new",
-            &by_cur,
+        // Pass 3: compose the global mapping with this contraction (the
+        // by-current-rep sort and the rewrite join stream into the final
+        // by-node sort).
+        let by_cur = sort_streaming_by_key(env, &mapping, "em-map-bycur", |l: &SccLabel| l.scc)?;
+        let composed = left_lookup_join_stream(
+            by_cur,
             |l| l.scc,
             &contraction,
             |c| c.node,
-            |l, m| SccLabel::new(l.node, m.map_or(l.scc, |c| c.scc)),
+            |l: SccLabel, m| SccLabel::new(l.node, m.map_or(l.scc, |c: SccLabel| c.scc)),
         )?;
-        mapping = sort_by_key(env, &composed, "em-map", |l: &SccLabel| l.node)?;
+        mapping = sort_by_key(env, composed, "em-map", |l: &SccLabel| l.node)?;
 
         iterations.push(EmIteration {
             level: iterations.len() + 1,
@@ -307,21 +295,20 @@ pub fn em_scc(
     };
 
     // Compose: orig -> cur rep -> final SCC (cur reps without residual edges
-    // are singleton classes and keep themselves as label).
-    let by_cur = sort_by_key(env, &mapping, "em-out-bycur", |l: &SccLabel| l.scc)?;
-    let labelled: ExtFile<SccLabel> = left_lookup_join(
-        env,
-        "em-out",
-        &by_cur,
+    // are singleton classes and keep themselves as label). Fused like the
+    // per-iteration composition above.
+    let by_cur = sort_streaming_by_key(env, &mapping, "em-out-bycur", |l: &SccLabel| l.scc)?;
+    let labelled = left_lookup_join_stream(
+        by_cur,
         |l| l.scc,
         &final_labels,
         |f| f.node,
-        |l, m| SccLabel::new(l.node, m.map_or(l.scc, |f| f.scc)),
+        |l: SccLabel, m| SccLabel::new(l.node, m.map_or(l.scc, |f: SccLabel| f.scc)),
     )?;
-    let labels = sort_by_key(env, &labelled, "em-labels", |l: &SccLabel| l.node)?;
+    let labels = sort_by_key(env, labelled, "em-labels", |l: &SccLabel| l.node)?;
 
-    let distinct = sort_dedup_by_key(env, &labels, "em-nscc", |l: &SccLabel| l.scc)?;
-    let n_sccs = distinct.len();
+    // Distinct-SCC count: stream the dedup merge, write nothing.
+    let n_sccs = sort_dedup_streaming_by_key(env, &labels, "em-nscc", |l: &SccLabel| l.scc)?.count()?;
 
     Ok((
         labels,

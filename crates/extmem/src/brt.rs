@@ -35,6 +35,7 @@ use std::io;
 use crate::env::DiskEnv;
 use crate::file::CountedFile;
 use crate::record::Record;
+use crate::sorted::SortedStream;
 use crate::stream::ExtFile;
 
 type Item = (u32, u32);

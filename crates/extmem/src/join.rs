@@ -13,97 +13,204 @@
 //!   `(u,v)`", Algorithm 3 lines 5–7);
 //! * [`merge_union`] — merge two sorted files into one sorted file
 //!   (e.g. `SCC_i = SCC_{i+1} ∪ SCC_del`, Algorithm 5 line 5);
-//! * [`GroupCursor`] — iterate a sorted file group-by-group (e.g. "all
+//! * [`GroupCursor`] — iterate a sorted stream group-by-group (e.g. "all
 //!   in-neighbour SCC labels of removed node `v`", Algorithm 5 line 4).
 //!
+//! Every operator consumes `impl` [`SortedSource`] on either side — a
+//! materialized `&ExtFile`, an upstream join stream, or the formed runs of
+//! an elided sort ([`crate::sort::SortedRuns`]) — so `sort → join → sort`
+//! chains fuse without materializing their intermediates. Each eager
+//! function (`semi_join`, …) writes its result to a file; the `*_stream`
+//! constructor next to it ([`semi_join_stream`], …) returns the same records
+//! as a lazy [`SortedStream`] for consumers that scan the result exactly
+//! once, eliding the `write + read` of the intermediate file entirely (see
+//! [`crate::sorted`] for the pass accounting).
+//!
 //! Every operator consumes `scan(|A|) + scan(|B|)` I/Os and no memory beyond
-//! a constant number of blocks, matching the costs the paper charges.
+//! a constant number of blocks, matching the costs the paper charges — the
+//! streaming forms consume strictly less by not writing their outputs.
+
+// Stream-combinator constructors name every input stream, key extractor and
+// emit closure in their return type; aliasing them away would only move the
+// same parameters behind another generic name.
+#![allow(clippy::type_complexity)]
 
 use std::io;
+use std::marker::PhantomData;
 
 use crate::env::DiskEnv;
 use crate::record::Record;
-use crate::stream::{ExtFile, PeekReader};
+use crate::sorted::{stream_is_source, Peeked, SortedSource, SortedStream};
+use crate::stream::ExtFile;
 
-/// Keeps records of `a` whose key appears in `b`.
+/// Keeps records of `a` whose key appears in `b`, materialized to a file.
 ///
 /// `a` must be sorted by `ka`, `b` by `kb`; duplicates are allowed in both.
-pub fn semi_join<A, B, K, FA, FB>(
+pub fn semi_join<A, B, K, SA, SB, FA, FB>(
     env: &DiskEnv,
     label: &str,
-    a: &ExtFile<A>,
+    a: SA,
     ka: FA,
-    b: &ExtFile<B>,
+    b: SB,
     kb: FB,
 ) -> io::Result<ExtFile<A>>
 where
     A: Record,
     B: Record,
     K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
     FA: Fn(&A) -> K,
     FB: Fn(&B) -> K,
 {
-    filter_join(env, label, a, ka, b, kb, true)
+    semi_join_stream(a, ka, b, kb)?.materialize(env, label)
+}
+
+/// Streaming form of [`semi_join`]: the matching records are pulled by the
+/// consumer, never written.
+pub fn semi_join_stream<A, B, K, SA, SB, FA, FB>(
+    a: SA,
+    ka: FA,
+    b: SB,
+    kb: FB,
+) -> io::Result<FilterJoinStream<A, B, K, SA::Stream, SB::Stream, FA, FB>>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    filter_join_stream(a, ka, b, kb, true)
 }
 
 /// Keeps records of `a` whose key does **not** appear in `b`.
-pub fn anti_join<A, B, K, FA, FB>(
+pub fn anti_join<A, B, K, SA, SB, FA, FB>(
     env: &DiskEnv,
     label: &str,
-    a: &ExtFile<A>,
+    a: SA,
     ka: FA,
-    b: &ExtFile<B>,
+    b: SB,
     kb: FB,
 ) -> io::Result<ExtFile<A>>
 where
     A: Record,
     B: Record,
     K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
     FA: Fn(&A) -> K,
     FB: Fn(&B) -> K,
 {
-    filter_join(env, label, a, ka, b, kb, false)
+    anti_join_stream(a, ka, b, kb)?.materialize(env, label)
 }
 
-fn filter_join<A, B, K, FA, FB>(
-    env: &DiskEnv,
-    label: &str,
-    a: &ExtFile<A>,
+/// Streaming form of [`anti_join`].
+pub fn anti_join_stream<A, B, K, SA, SB, FA, FB>(
+    a: SA,
     ka: FA,
-    b: &ExtFile<B>,
+    b: SB,
     kb: FB,
-    keep_matching: bool,
-) -> io::Result<ExtFile<A>>
+) -> io::Result<FilterJoinStream<A, B, K, SA::Stream, SB::Stream, FA, FB>>
 where
     A: Record,
     B: Record,
     K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
     FA: Fn(&A) -> K,
     FB: Fn(&B) -> K,
 {
-    let mut ra = a.peek_reader()?;
-    let mut rb = b.peek_reader()?;
-    let mut w = env.writer::<A>(label)?;
-    while let Some(av) = ra.next()? {
-        let k = ka(&av);
-        // Advance b past keys smaller than k.
-        while let Some(bv) = rb.peek()? {
-            if kb(bv) < k {
-                rb.next()?;
-            } else {
-                break;
+    filter_join_stream(a, ka, b, kb, false)
+}
+
+fn filter_join_stream<A, B, K, SA, SB, FA, FB>(
+    a: SA,
+    ka: FA,
+    b: SB,
+    kb: FB,
+    keep_matching: bool,
+) -> io::Result<FilterJoinStream<A, B, K, SA::Stream, SB::Stream, FA, FB>>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    Ok(FilterJoinStream {
+        a: a.open_sorted()?,
+        b: b.open_sorted()?.peeked(),
+        ka,
+        kb,
+        keep_matching,
+        _marker: PhantomData,
+    })
+}
+
+/// Lazy semi-/anti-join: yields the records of `a` whose key does (semi) or
+/// does not (anti) occur in `b`. Constructed by [`semi_join_stream`] /
+/// [`anti_join_stream`].
+pub struct FilterJoinStream<A, B, K, SA, SB, FA, FB>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    a: SA,
+    b: Peeked<B, SB>,
+    ka: FA,
+    kb: FB,
+    keep_matching: bool,
+    _marker: PhantomData<fn() -> (A, K)>,
+}
+
+impl<A, B, K, SA, SB, FA, FB> SortedStream<A> for FilterJoinStream<A, B, K, SA, SB, FA, FB>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    fn next(&mut self) -> io::Result<Option<A>> {
+        while let Some(av) = self.a.next()? {
+            let k = (self.ka)(&av);
+            // Advance b past keys smaller than k.
+            while let Some(bv) = self.b.peek()? {
+                if (self.kb)(bv) < k {
+                    self.b.next()?;
+                } else {
+                    break;
+                }
+            }
+            let matched = match self.b.peek()? {
+                Some(bv) => (self.kb)(bv) == k,
+                None => false,
+            };
+            if matched == self.keep_matching {
+                return Ok(Some(av));
             }
         }
-        let matched = match rb.peek()? {
-            Some(bv) => kb(bv) == k,
-            None => false,
-        };
-        if matched == keep_matching {
-            w.push(av)?;
-        }
+        Ok(None)
     }
-    w.finish()
 }
+
+stream_is_source!(
+    impl[A: Record, B: Record, K: Ord, SA: SortedStream<A>, SB: SortedStream<B>,
+         FA: Fn(&A) -> K, FB: Fn(&B) -> K]
+    FilterJoinStream<A, B, K, SA, SB, FA, FB> => A
+);
 
 /// Inner join: for each record of `a` whose key matches a record of `b`,
 /// emits `f(a_record, b_record)`. Records of `a` without a match are dropped.
@@ -111,159 +218,371 @@ where
 /// `a` must be sorted by `ka` (duplicates allowed); `b` must be sorted by
 /// `kb` with **unique** keys (a lookup table, e.g. the degree table `Vd` or
 /// the label table `SCC_{i+1}`).
-pub fn lookup_join<A, B, K, Out, FA, FB, F>(
+pub fn lookup_join<A, B, K, Out, SA, SB, FA, FB, F>(
     env: &DiskEnv,
     label: &str,
-    a: &ExtFile<A>,
+    a: SA,
     ka: FA,
-    b: &ExtFile<B>,
+    b: SB,
     kb: FB,
-    mut f: F,
+    f: F,
 ) -> io::Result<ExtFile<Out>>
 where
     A: Record,
     B: Record,
     Out: Record,
     K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
     FA: Fn(&A) -> K,
     FB: Fn(&B) -> K,
     F: FnMut(A, B) -> Out,
 {
-    let mut ra = a.peek_reader()?;
-    let mut rb = b.peek_reader()?;
-    let mut current: Option<B> = None;
-    let mut w = env.writer::<Out>(label)?;
-    while let Some(av) = ra.next()? {
-        let k = ka(&av);
-        // Advance the lookup side until its key >= k, remembering the match.
-        loop {
-            match current {
-                Some(bv) if kb(&bv) >= k => break,
-                _ => {}
-            }
-            match rb.peek()? {
-                Some(bv) if kb(bv) <= k => {
-                    current = rb.next()?;
-                }
-                _ => break,
-            }
+    lookup_join_stream(a, ka, b, kb, f)?.materialize(env, label)
+}
+
+/// Streaming form of [`lookup_join`].
+pub fn lookup_join_stream<A, B, K, Out, SA, SB, FA, FB, F>(
+    a: SA,
+    ka: FA,
+    b: SB,
+    kb: FB,
+    f: F,
+) -> io::Result<LookupJoinStream<A, B, K, Out, SA::Stream, SB::Stream, FA, FB, F>>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, B) -> Out,
+{
+    Ok(LookupJoinStream {
+        a: a.open_sorted()?,
+        b: b.open_sorted()?.peeked(),
+        ka,
+        kb,
+        f,
+        current: None,
+        _marker: PhantomData,
+    })
+}
+
+/// Lazy lookup join (inner); see [`lookup_join_stream`].
+pub struct LookupJoinStream<A, B, K, Out, SA, SB, FA, FB, F>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, B) -> Out,
+{
+    a: SA,
+    b: Peeked<B, SB>,
+    ka: FA,
+    kb: FB,
+    f: F,
+    current: Option<B>,
+    _marker: PhantomData<fn() -> (A, K, Out)>,
+}
+
+/// Advances a lookup side until its key is `>= k`, remembering in `current`
+/// the last record with key `<= k` (the candidate match) — the shared seek
+/// step of both lookup-join streams.
+fn seek_lookup<B, K, SB, FB>(
+    b: &mut Peeked<B, SB>,
+    current: &mut Option<B>,
+    kb: &FB,
+    k: &K,
+) -> io::Result<()>
+where
+    B: Record,
+    K: Ord,
+    SB: SortedStream<B>,
+    FB: Fn(&B) -> K,
+{
+    loop {
+        match &current {
+            Some(bv) if kb(bv) >= *k => break,
+            _ => {}
         }
-        if let Some(bv) = current {
-            if kb(&bv) == k {
-                w.push(f(av, bv))?;
+        match b.peek()? {
+            Some(bv) if kb(bv) <= *k => {
+                *current = b.next()?;
             }
+            _ => break,
         }
     }
-    w.finish()
+    Ok(())
 }
+
+impl<A, B, K, Out, SA, SB, FA, FB, F> SortedStream<Out>
+    for LookupJoinStream<A, B, K, Out, SA, SB, FA, FB, F>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, B) -> Out,
+{
+    fn next(&mut self) -> io::Result<Option<Out>> {
+        while let Some(av) = self.a.next()? {
+            let k = (self.ka)(&av);
+            seek_lookup(&mut self.b, &mut self.current, &self.kb, &k)?;
+            if let Some(bv) = self.current {
+                if (self.kb)(&bv) == k {
+                    return Ok(Some((self.f)(av, bv)));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+stream_is_source!(
+    impl[A: Record, B: Record, K: Ord, Out: Record, SA: SortedStream<A>, SB: SortedStream<B>,
+         FA: Fn(&A) -> K, FB: Fn(&B) -> K, F: FnMut(A, B) -> Out]
+    LookupJoinStream<A, B, K, Out, SA, SB, FA, FB, F> => Out
+);
 
 /// Left outer join: for each record of `a`, emits `f(a_record, match)` where
 /// `match` is `Some(b_record)` if `b` (sorted, unique keys) has the key and
 /// `None` otherwise. Used by the EM-SCC baseline to rewrite edges through a
 /// partial contraction map (unmapped nodes keep their identity).
-pub fn left_lookup_join<A, B, K, Out, FA, FB, F>(
+pub fn left_lookup_join<A, B, K, Out, SA, SB, FA, FB, F>(
     env: &DiskEnv,
     label: &str,
-    a: &ExtFile<A>,
+    a: SA,
     ka: FA,
-    b: &ExtFile<B>,
+    b: SB,
     kb: FB,
-    mut f: F,
+    f: F,
 ) -> io::Result<ExtFile<Out>>
 where
     A: Record,
     B: Record,
     Out: Record,
     K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
     FA: Fn(&A) -> K,
     FB: Fn(&B) -> K,
     F: FnMut(A, Option<B>) -> Out,
 {
-    let mut ra = a.peek_reader()?;
-    let mut rb = b.peek_reader()?;
-    let mut current: Option<B> = None;
-    let mut w = env.writer::<Out>(label)?;
-    while let Some(av) = ra.next()? {
-        let k = ka(&av);
-        loop {
-            match current {
-                Some(bv) if kb(&bv) >= k => break,
-                _ => {}
-            }
-            match rb.peek()? {
-                Some(bv) if kb(bv) <= k => {
-                    current = rb.next()?;
-                }
-                _ => break,
-            }
-        }
-        let matched = current.filter(|bv| kb(bv) == k);
-        w.push(f(av, matched))?;
-    }
-    w.finish()
+    left_lookup_join_stream(a, ka, b, kb, f)?.materialize(env, label)
 }
 
-/// Merges two sorted files into one sorted file (duplicates preserved).
-pub fn merge_union<T, K, F>(
+/// Streaming form of [`left_lookup_join`].
+pub fn left_lookup_join_stream<A, B, K, Out, SA, SB, FA, FB, F>(
+    a: SA,
+    ka: FA,
+    b: SB,
+    kb: FB,
+    f: F,
+) -> io::Result<LeftLookupJoinStream<A, B, K, Out, SA::Stream, SB::Stream, FA, FB, F>>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    SA: SortedSource<A>,
+    SB: SortedSource<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, Option<B>) -> Out,
+{
+    Ok(LeftLookupJoinStream {
+        a: a.open_sorted()?,
+        b: b.open_sorted()?.peeked(),
+        ka,
+        kb,
+        f,
+        current: None,
+        _marker: PhantomData,
+    })
+}
+
+/// Lazy left-outer lookup join; see [`left_lookup_join_stream`].
+pub struct LeftLookupJoinStream<A, B, K, Out, SA, SB, FA, FB, F>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, Option<B>) -> Out,
+{
+    a: SA,
+    b: Peeked<B, SB>,
+    ka: FA,
+    kb: FB,
+    f: F,
+    current: Option<B>,
+    _marker: PhantomData<fn() -> (A, K, Out)>,
+}
+
+impl<A, B, K, Out, SA, SB, FA, FB, F> SortedStream<Out>
+    for LeftLookupJoinStream<A, B, K, Out, SA, SB, FA, FB, F>
+where
+    A: Record,
+    B: Record,
+    Out: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+    F: FnMut(A, Option<B>) -> Out,
+{
+    fn next(&mut self) -> io::Result<Option<Out>> {
+        let av = match self.a.next()? {
+            Some(av) => av,
+            None => return Ok(None),
+        };
+        let k = (self.ka)(&av);
+        seek_lookup(&mut self.b, &mut self.current, &self.kb, &k)?;
+        let matched = self.current.filter(|bv| (self.kb)(bv) == k);
+        Ok(Some((self.f)(av, matched)))
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.a.len_hint() // one output per input record, exactly
+    }
+}
+
+stream_is_source!(
+    impl[A: Record, B: Record, K: Ord, Out: Record, SA: SortedStream<A>, SB: SortedStream<B>,
+         FA: Fn(&A) -> K, FB: Fn(&B) -> K, F: FnMut(A, Option<B>) -> Out]
+    LeftLookupJoinStream<A, B, K, Out, SA, SB, FA, FB, F> => Out
+);
+
+/// Merges two sorted inputs into one sorted file (duplicates preserved).
+pub fn merge_union<T, K, SA, SB, F>(
     env: &DiskEnv,
     label: &str,
-    a: &ExtFile<T>,
-    b: &ExtFile<T>,
+    a: SA,
+    b: SB,
     key: F,
 ) -> io::Result<ExtFile<T>>
 where
     T: Record,
     K: Ord,
+    SA: SortedSource<T>,
+    SB: SortedSource<T>,
     F: Fn(&T) -> K,
 {
-    let mut ra = a.peek_reader()?;
-    let mut rb = b.peek_reader()?;
-    let mut w = env.writer::<T>(label)?;
-    loop {
-        let take_a = match (ra.peek()?, rb.peek()?) {
-            (Some(x), Some(y)) => key(x) <= key(y),
+    merge_union_stream(a, b, key)?.materialize(env, label)
+}
+
+/// Streaming form of [`merge_union`].
+pub fn merge_union_stream<T, K, SA, SB, F>(
+    a: SA,
+    b: SB,
+    key: F,
+) -> io::Result<MergeUnionStream<T, K, SA::Stream, SB::Stream, F>>
+where
+    T: Record,
+    K: Ord,
+    SA: SortedSource<T>,
+    SB: SortedSource<T>,
+    F: Fn(&T) -> K,
+{
+    Ok(MergeUnionStream {
+        a: a.open_sorted()?.peeked(),
+        b: b.open_sorted()?.peeked(),
+        key,
+        _marker: PhantomData,
+    })
+}
+
+/// Lazy two-way sorted merge; see [`merge_union_stream`].
+pub struct MergeUnionStream<T, K, SA, SB, F>
+where
+    T: Record,
+    K: Ord,
+    SA: SortedStream<T>,
+    SB: SortedStream<T>,
+    F: Fn(&T) -> K,
+{
+    a: Peeked<T, SA>,
+    b: Peeked<T, SB>,
+    key: F,
+    _marker: PhantomData<fn() -> K>,
+}
+
+impl<T, K, SA, SB, F> SortedStream<T> for MergeUnionStream<T, K, SA, SB, F>
+where
+    T: Record,
+    K: Ord,
+    SA: SortedStream<T>,
+    SB: SortedStream<T>,
+    F: Fn(&T) -> K,
+{
+    fn next(&mut self) -> io::Result<Option<T>> {
+        let take_a = match (self.a.peek()?, self.b.peek()?) {
+            (Some(x), Some(y)) => (self.key)(x) <= (self.key)(y),
             (Some(_), None) => true,
             (None, Some(_)) => false,
-            (None, None) => break,
+            (None, None) => return Ok(None),
         };
-        let v = if take_a { ra.next()? } else { rb.next()? };
-        w.push(v.expect("peeked side must produce a record"))?;
+        let v = if take_a { self.a.next()? } else { self.b.next()? };
+        Ok(Some(v.expect("peeked side must produce a record")))
     }
-    w.finish()
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.a.len_hint()? + self.b.len_hint()?)
+    }
 }
 
-/// Concatenates files in order (no sorting).
-pub fn concat<T: Record>(env: &DiskEnv, label: &str, parts: &[&ExtFile<T>]) -> io::Result<ExtFile<T>> {
-    let mut w = env.writer::<T>(label)?;
-    for p in parts {
-        let mut r = p.reader()?;
-        while let Some(v) = r.next()? {
-            w.push(v)?;
-        }
-    }
-    w.finish()
-}
+stream_is_source!(
+    impl[T: Record, K: Ord, SA: SortedStream<T>, SB: SortedStream<T>, F: Fn(&T) -> K]
+    MergeUnionStream<T, K, SA, SB, F> => T
+);
 
 /// Cursor yielding one *group* (maximal run of equal keys) at a time from a
-/// sorted stream, reusing a caller buffer to avoid per-group allocation.
-pub struct GroupCursor<T: Record, K, F: Fn(&T) -> K> {
-    reader: PeekReader<T>,
+/// sorted source, reusing a caller buffer to avoid per-group allocation.
+pub struct GroupCursor<T, K, F, S>
+where
+    T: Record,
+    F: Fn(&T) -> K,
+    S: SortedStream<T>,
+{
+    reader: Peeked<T, S>,
     key: F,
-    _marker: std::marker::PhantomData<K>,
+    _marker: PhantomData<K>,
 }
 
-impl<T, K, F> GroupCursor<T, K, F>
+impl<T, K, F, S> GroupCursor<T, K, F, S>
 where
     T: Record,
     K: Ord,
     F: Fn(&T) -> K,
+    S: SortedStream<T>,
 {
-    /// Opens a cursor over `file`, which must be sorted by `key`.
-    pub fn new(file: &ExtFile<T>, key: F) -> io::Result<Self> {
+    /// Opens a cursor over `source`, which must be sorted by `key` — a
+    /// `&ExtFile`, a join stream, or an elided sort's runs.
+    pub fn new<Src>(source: Src, key: F) -> io::Result<Self>
+    where
+        Src: SortedSource<T, Stream = S>,
+    {
         Ok(GroupCursor {
-            reader: file.peek_reader()?,
+            reader: source.open_sorted()?.peeked(),
             key,
-            _marker: std::marker::PhantomData,
+            _marker: PhantomData,
         })
     }
 
@@ -297,6 +616,7 @@ where
 mod tests {
     use super::*;
     use crate::config::IoConfig;
+    use crate::sort::sort_streaming_by_key;
 
     fn env() -> DiskEnv {
         DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap()
@@ -411,15 +731,6 @@ mod tests {
     }
 
     #[test]
-    fn concat_appends() {
-        let env = env();
-        let a = env.file_from_slice("a", &[1u32, 2]).unwrap();
-        let b = env.file_from_slice("b", &[3u32]).unwrap();
-        let out = concat(&env, "o", &[&a, &b]).unwrap();
-        assert_eq!(out.read_all().unwrap(), vec![1, 2, 3]);
-    }
-
-    #[test]
     fn group_cursor_walks_groups() {
         let env = env();
         let f = env
@@ -437,5 +748,58 @@ mod tests {
         assert_eq!(buf.len(), 3);
         assert_eq!(cur.next_group(&mut buf).unwrap(), Some(7));
         assert_eq!(cur.next_group(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn fused_sort_join_chain_writes_nothing_between_stages() {
+        // sort(streaming) -> semi_join(stream) -> lookup_join(stream) ->
+        // count: only the initial files and the sort runs touch disk.
+        let env = DiskEnv::new_temp(IoConfig::new(64, 256)).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..200).map(|i| ((i * 7) % 100, i)).collect();
+        let a = env.file_from_slice("a", &pairs).unwrap();
+        let keys: Vec<u32> = (0..50).collect();
+        let b = env.file_from_slice("b", &keys).unwrap();
+        let table: Vec<(u32, u32)> = (0..100).map(|k| (k, k * 10)).collect();
+        let t = env.file_from_slice("t", &table).unwrap();
+
+        let files_before = std::fs::read_dir(env.root()).unwrap().count();
+        let sorted = sort_streaming_by_key(&env, &a, "s", |r: &(u32, u32)| r.0).unwrap();
+        let filtered = semi_join_stream(sorted, |r| r.0, &b, |&k| k).unwrap();
+        let joined =
+            lookup_join_stream(filtered, |r| r.0, &t, |r| r.0, |x, y| (x.0, x.1, y.1)).unwrap();
+        let n = joined.count().unwrap();
+        assert_eq!(n, 100, "keys 0..50 hit half of the 200 records");
+        let files_after = std::fs::read_dir(env.root()).unwrap().count();
+        assert_eq!(
+            files_before, files_after,
+            "fused chain must not leave materialized intermediates"
+        );
+    }
+
+    #[test]
+    fn streaming_joins_match_materialized_joins() {
+        let env = env();
+        let a: Vec<(u32, u32)> = (0..300).map(|i| (i / 3, i)).collect();
+        let b: Vec<u32> = (0..100).filter(|k| k % 2 == 0).collect();
+        let fa = env.file_from_slice("a", &a).unwrap();
+        let fb = env.file_from_slice("b", &b).unwrap();
+
+        let eager = semi_join(&env, "e", &fa, |r| r.0, &fb, |&k| k)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let mut lazy = Vec::new();
+        let mut s = semi_join_stream(&fa, |r| r.0, &fb, |&k| k).unwrap();
+        while let Some(v) = s.next().unwrap() {
+            lazy.push(v);
+        }
+        assert_eq!(eager, lazy);
+
+        let eager = merge_union(&env, "u", &fa, &fa, |r| r.0).unwrap().read_all().unwrap();
+        let lazy_file = merge_union_stream(&fa, &fa, |r: &(u32, u32)| r.0)
+            .unwrap()
+            .materialize(&env, "u2")
+            .unwrap();
+        assert_eq!(eager, lazy_file.read_all().unwrap());
     }
 }

@@ -38,6 +38,19 @@
 //! streams ([`join`]), and a buffered repository tree ([`brt`]) used by the
 //! external-DFS baseline.
 //!
+//! # The streaming sorted-run pipeline
+//!
+//! Every sort and join both *consumes and produces* [`sorted::SortedStream`]s:
+//! [`sort_streaming_by_key`] stops after run formation once at most `fan_in`
+//! runs remain and hands the final merge to the consumer as a
+//! [`sort::SortedRuns`] value, and each join has a `*_stream` form whose
+//! output is pulled rather than written. A `sort → join → sort` chain
+//! therefore fuses end to end — the only files written are the sort runs
+//! and whatever the caller explicitly
+//! [`materialize`](sorted::SortedStream::materialize)s — saving one full
+//! `write(m) + read(m)` (≈ `2·m/B` logical I/Os) per elided stage. See
+//! [`sorted`] for the pass accounting and [`sort`] for the elision rules.
+//!
 //! All scratch files live inside a [`DiskEnv`], are deleted on drop, and share
 //! one [`stats::IoStats`] counter so experiments can report exact I/O numbers
 //! per phase.
@@ -49,14 +62,22 @@ pub mod file;
 pub mod join;
 pub mod record;
 pub mod sort;
+pub mod sorted;
 pub mod stats;
 pub mod stream;
 
 pub use ce_pager::{BackendKind, PhysSnapshot};
 pub use config::IoConfig;
 pub use env::{DiskEnv, EnvOptions};
-pub use join::{anti_join, concat, left_lookup_join, lookup_join, merge_union, semi_join, GroupCursor};
+pub use join::{
+    anti_join, anti_join_stream, left_lookup_join, left_lookup_join_stream, lookup_join,
+    lookup_join_stream, merge_union, merge_union_stream, semi_join, semi_join_stream, GroupCursor,
+};
 pub use record::Record;
-pub use sort::{dedup_sorted, is_sorted_by_key, sort_by_key, sort_dedup_by_key};
+pub use sort::{
+    dedup_sorted, is_sorted_by_key, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key,
+    sort_streaming_by_key, MergeStream, SortedRuns,
+};
+pub use sorted::{FileStream, Peeked, SortedSource, SortedStream};
 pub use stats::{IoSnapshot, IoStats};
 pub use stream::{ExtFile, PeekReader, RecordReader, RecordWriter};

@@ -85,9 +85,16 @@ impl<T: Record> ExtFile<T> {
         RecordReader::open(self)
     }
 
-    /// Opens a peekable sequential reader.
+    /// Opens a peekable sequential reader ([`PeekReader`]).
     pub fn peek_reader(&self) -> io::Result<PeekReader<T>> {
-        Ok(PeekReader::new(self.reader()?))
+        use crate::sorted::SortedStream;
+        Ok(self.stream()?.peeked())
+    }
+
+    /// Opens the file as a [`crate::sorted::SortedStream`] positioned at the
+    /// first record (the stream keeps the file alive).
+    pub fn stream(&self) -> io::Result<crate::sorted::FileStream<T>> {
+        crate::sorted::FileStream::open(self)
     }
 
     /// Reads the whole file into memory. Intended for tests, for metadata
@@ -268,65 +275,16 @@ impl<T: Record> RecordReader<T> {
     }
 }
 
-/// A [`RecordReader`] with one-record lookahead — the building block of every
-/// merge join in the workspace.
-pub struct PeekReader<T: Record> {
-    inner: RecordReader<T>,
-    peeked: Option<T>,
-    primed: bool,
-}
-
-impl<T: Record> PeekReader<T> {
-    /// Wraps a reader.
-    pub fn new(inner: RecordReader<T>) -> Self {
-        PeekReader {
-            inner,
-            peeked: None,
-            primed: false,
-        }
-    }
-
-    /// Returns the next record without consuming it.
-    pub fn peek(&mut self) -> io::Result<Option<&T>> {
-        if !self.primed {
-            self.peeked = self.inner.next()?;
-            self.primed = true;
-        }
-        Ok(self.peeked.as_ref())
-    }
-
-    /// Consumes and returns the next record.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> io::Result<Option<T>> {
-        if self.primed {
-            self.primed = false;
-            Ok(self.peeked.take())
-        } else {
-            self.inner.next()
-        }
-    }
-
-    /// Consumes records while `pred` holds, invoking `f` on each.
-    pub fn drain_while<P, F>(&mut self, mut pred: P, mut f: F) -> io::Result<()>
-    where
-        P: FnMut(&T) -> bool,
-        F: FnMut(T),
-    {
-        while let Some(v) = self.peek()? {
-            if !pred(v) {
-                break;
-            }
-            let v = self.next()?.expect("peeked record must exist");
-            f(v);
-        }
-        Ok(())
-    }
-}
+/// A file reader with one-record lookahead — [`crate::sorted::Peeked`] over
+/// a [`crate::sorted::FileStream`], the building block of every merge join
+/// in the workspace.
+pub type PeekReader<T> = crate::sorted::Peeked<T, crate::sorted::FileStream<T>>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::IoConfig;
+    use crate::sorted::SortedStream;
 
     fn env() -> DiskEnv {
         DiskEnv::new_temp(IoConfig::new(64, 4096)).unwrap()

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use ce_extmem::file::CountedFile;
 use ce_extmem::{
     anti_join, dedup_sorted, is_sorted_by_key, left_lookup_join, lookup_join, merge_union,
-    semi_join, sort_by_key, sort_dedup_by_key, BackendKind, DiskEnv, EnvOptions, IoConfig,
+    semi_join, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key, sort_streaming_by_key,
+    BackendKind, DiskEnv, EnvOptions, IoConfig, SortedStream,
 };
 
 fn tiny_env() -> DiskEnv {
@@ -44,6 +45,48 @@ proptest! {
         let want: Vec<u32> = items.iter().copied().collect::<std::collections::BTreeSet<_>>()
             .into_iter().collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Last-pass elision must be invisible to the consumer: for any input
+    /// and any (block, budget) configuration, the streaming sort yields the
+    /// same records in the same order as the materializing sort — with and
+    /// without dedup — and never yields more runs than the merge fan-in.
+    #[test]
+    fn streaming_sort_equals_materializing_sort(
+        items in prop::collection::vec((0u32..96, any::<u16>()), 0..600),
+        block_pow in 5usize..8,   // 32..128-byte blocks
+        budget_blocks in 2usize..12,
+    ) {
+        let block = 1 << block_pow;
+        let cfg = IoConfig::new(block, budget_blocks * block);
+        let env = DiskEnv::new_temp(cfg).unwrap();
+        let f = env.file_from_slice("t", &items).unwrap();
+        let key = |r: &(u32, u16)| r.0;
+
+        let materialized = sort_by_key(&env, &f, "m", key).unwrap().read_all().unwrap();
+        let runs = sort_streaming_by_key(&env, &f, "s", key).unwrap();
+        prop_assert!(runs.n_runs() <= cfg.sort_fan_in().max(2));
+        let mut stream = runs.into_stream().unwrap();
+        let mut streamed = Vec::new();
+        while let Some(v) = stream.next().unwrap() {
+            streamed.push(v);
+        }
+        prop_assert_eq!(&streamed, &materialized, "streaming sort diverged");
+
+        let mat_dedup = sort_dedup_by_key(&env, &f, "md", key).unwrap().read_all().unwrap();
+        let mut stream = sort_dedup_streaming_by_key(&env, &f, "sd", key)
+            .unwrap()
+            .into_stream()
+            .unwrap();
+        let mut str_dedup = Vec::new();
+        while let Some(v) = stream.next().unwrap() {
+            str_dedup.push(v);
+        }
+        prop_assert_eq!(&str_dedup, &mat_dedup, "streaming dedup sort diverged");
+        let keys: Vec<u32> = str_dedup.iter().map(|r| r.0).collect();
+        let want_keys: Vec<u32> = items.iter().map(|r| r.0)
+            .collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        prop_assert_eq!(keys, want_keys);
     }
 
     #[test]

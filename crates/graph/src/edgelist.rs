@@ -3,7 +3,7 @@
 use std::io;
 use std::path::Path;
 
-use ce_extmem::{sort_by_key, sort_dedup_by_key, DiskEnv, ExtFile, RecordWriter};
+use ce_extmem::{sort_by_key, sort_dedup_by_key, DiskEnv, ExtFile, RecordWriter, SortedStream};
 
 use crate::types::{Edge, NodeDegrees, NodeId};
 

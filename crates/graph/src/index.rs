@@ -43,7 +43,7 @@ use std::io;
 use std::path::Path;
 
 use ce_extmem::file::CountedFile;
-use ce_extmem::{sort_by_key, DiskEnv, ExtFile};
+use ce_extmem::{sort_streaming_by_key, DiskEnv, ExtFile, SortedStream};
 
 use crate::types::{Edge, NodeId, SccLabel};
 
@@ -274,9 +274,11 @@ impl SccIndex {
         }
         let sizes_off = w.finish()?;
 
-        // Section 2: (rep, size) per component, sorted by rep — one
-        // external sort of the labels plus a run-length scan.
-        let by_rep = sort_by_key(env, labels, "idx-by-rep", |l: &SccLabel| l.scc)?;
+        // Section 2: (rep, size) per component, sorted by rep — the
+        // external sort of the labels streams its final merge straight into
+        // the run-length scan (no by-rep file is written).
+        let mut by_rep = sort_streaming_by_key(env, labels, "idx-by-rep", |l: &SccLabel| l.scc)?
+            .into_stream()?;
         let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, sizes_off);
         let mut n_sccs = 0u64;
         let entry = |w: &mut SectionWriter<'_>, rep: NodeId, size: u64| -> io::Result<()> {
@@ -285,9 +287,8 @@ impl SccIndex {
             e[8..16].copy_from_slice(&size.to_le_bytes());
             w.push(&e)
         };
-        let mut r = by_rep.reader()?;
         let mut current: Option<(NodeId, u64)> = None;
-        while let Some(l) = r.next()? {
+        while let Some(l) = by_rep.next()? {
             match current {
                 Some((rep, size)) if rep == l.scc => current = Some((rep, size + 1)),
                 Some((rep, size)) => {
@@ -303,7 +304,6 @@ impl SccIndex {
             n_sccs += 1;
         }
         let after_sizes = w.finish()?;
-        drop(by_rep);
 
         // Section 3 (optional): condensation DAG edges.
         let (dag_off, n_dag_edges) = match dag {

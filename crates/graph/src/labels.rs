@@ -120,40 +120,32 @@ pub fn condense_external(
     g: &crate::edgelist::EdgeListGraph,
     labels: &ExtFile<SccLabel>,
 ) -> io::Result<crate::edgelist::EdgeListGraph> {
-    use ce_extmem::{lookup_join, sort_by_key, sort_dedup_by_key};
-    let by_src = sort_by_key(env, g.edges(), "cond-by-src", |e: &Edge| e.src)?;
-    let src_mapped: ExtFile<Edge> = lookup_join(
-        env,
-        "cond-src",
-        &by_src,
+    // One fused chain: sort-by-src streams into the src-quotient join,
+    // which streams into the by-dst sort, which streams into the
+    // dst-quotient join, whose non-loop output streams into run formation
+    // of the final dedup sort — only the result file is materialized.
+    use ce_extmem::{
+        lookup_join_stream, sort_dedup_by_key, sort_streaming_by_key, SortedStream,
+    };
+    let by_src = sort_streaming_by_key(env, g.edges(), "cond-by-src", |e: &Edge| e.src)?;
+    let src_mapped = lookup_join_stream(
+        by_src,
         |e| e.src,
         labels,
         |l| l.node,
-        |e, l| Edge::new(l.scc, e.dst),
+        |e: Edge, l: SccLabel| Edge::new(l.scc, e.dst),
     )?;
-    drop(by_src);
-    let by_dst = sort_by_key(env, &src_mapped, "cond-by-dst", |e: &Edge| e.dst)?;
-    drop(src_mapped);
-    let both_mapped: ExtFile<Edge> = lookup_join(
-        env,
-        "cond-dst",
-        &by_dst,
+    let by_dst = sort_streaming_by_key(env, src_mapped, "cond-by-dst", |e: &Edge| e.dst)?;
+    let both_mapped = lookup_join_stream(
+        by_dst,
         |e| e.dst,
         labels,
         |l| l.node,
-        |e, l| Edge::new(e.src, l.scc),
+        |e: Edge, l: SccLabel| Edge::new(e.src, l.scc),
     )?;
-    drop(by_dst);
     // Drop intra-component edges, then dedup parallels.
-    let mut r = both_mapped.reader()?;
-    let mut w = env.writer::<Edge>("cond-noloop")?;
-    while let Some(e) = r.next()? {
-        if !e.is_loop() {
-            w.push(e)?;
-        }
-    }
-    let clean = w.finish()?;
-    let deduped = sort_dedup_by_key(env, &clean, "cond-edges", Edge::by_src)?;
+    let clean = both_mapped.filter(|e| !e.is_loop());
+    let deduped = sort_dedup_by_key(env, clean, "cond-edges", Edge::by_src)?;
     Ok(crate::edgelist::EdgeListGraph::new(deduped, g.n_nodes()))
 }
 

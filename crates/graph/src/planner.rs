@@ -75,6 +75,12 @@ pub struct Plan {
     /// graph is solved semi-externally right away). A model estimate —
     /// covers shrink by the paper's expected ≈ 1/3 of nodes per pass — not
     /// a promise.
+    ///
+    /// This counts *contraction iterations*, not sort passes, so it is
+    /// unaffected by the streaming pipeline's last-merge-pass elision
+    /// (`ce_extmem::sort`): elision lowers the I/O cost *per* contraction
+    /// pass (each fused `sort → join` stage skips one `write + read` of its
+    /// intermediate) but never changes how many passes contraction needs.
     pub predicted_passes: u32,
     /// Bytes of semi-external state the whole node set would need.
     pub semi_bytes_needed: u64,

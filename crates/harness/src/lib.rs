@@ -313,14 +313,68 @@ struct Workload {
     build: fn(&DiskEnv, HarnessScale) -> io::Result<EdgeListGraph>,
 }
 
+/// Smoke-scale pins of the bench-scenario families: `(name, node count,
+/// builder)` with the *exact* generator parameters the conformance matrix
+/// (and therefore the golden `verify_smoke.txt`) runs at smoke scale.
+///
+/// This is the single source of truth shared with the `ce-bench`
+/// `bench_json` emitter and the root `tests/io_model.rs` I/O-regression
+/// test, so the committed `BENCH_*.json` baselines always describe the same
+/// scenario the matrix grades — tune a generator here and every consumer
+/// moves in lockstep.
+pub fn smoke_workloads() -> Vec<SmokeWorkload> {
+    vec![
+        ("web", SMOKE_WEB_N, |env| {
+            gen::web_like(env, SMOKE_WEB_N as u32, 4.0, 11)
+        }),
+        ("cycle", SMOKE_CYCLE_N, |env| {
+            gen::permuted_cycle(env, SMOKE_CYCLE_N as u32, 1)
+        }),
+        ("dag", SMOKE_DAG_N, |env| {
+            gen::dag_layered(env, SMOKE_DAG_N as u32, 6, SMOKE_DAG_N * 3, 5)
+        }),
+        ("gnm", SMOKE_GNM_N, |env| {
+            gen::random_gnm(env, SMOKE_GNM_N as u32, SMOKE_GNM_N * 4, 9)
+        }),
+    ]
+}
+
+/// One smoke bench workload: family name, node count, builder.
+pub type SmokeWorkload = (&'static str, u64, fn(&DiskEnv) -> io::Result<EdgeListGraph>);
+
+/// Node counts of the four bench-scenario families at each scale (shared
+/// between [`smoke_workloads`], the matrix's `n_nodes` closures and its
+/// full-scale `build` arms, so sizes cannot drift from the budgets computed
+/// from them).
+const SMOKE_WEB_N: u64 = 600;
+const SMOKE_CYCLE_N: u64 = 400;
+const SMOKE_DAG_N: u64 = 300;
+const SMOKE_GNM_N: u64 = 300;
+const FULL_WEB_N: u64 = 5000;
+const FULL_CYCLE_N: u64 = 4000;
+const FULL_DAG_N: u64 = 3000;
+const FULL_GNM_N: u64 = 2500;
+
+/// Looks up one smoke workload by family name.
+fn smoke_workload(name: &str) -> (u64, fn(&DiskEnv) -> io::Result<EdgeListGraph>) {
+    smoke_workloads()
+        .into_iter()
+        .find(|w| w.0 == name)
+        .map(|w| (w.1, w.2))
+        .unwrap_or_else(|| panic!("unknown smoke workload {name:?}"))
+}
+
 /// The matrix's workload families (deterministic seeds; sizes scale with
-/// [`HarnessScale`]).
+/// [`HarnessScale`]; smoke arms delegate to [`smoke_workloads`]).
 fn workloads() -> Vec<Workload> {
     vec![
         Workload {
             name: "cycle",
-            n_nodes: |s| s.pick(400, 4000),
-            build: |env, s| gen::permuted_cycle(env, s.pick(400, 4000), 1),
+            n_nodes: |s| s.pick(SMOKE_CYCLE_N, FULL_CYCLE_N),
+            build: |env, s| match s {
+                HarnessScale::Smoke => smoke_workload("cycle").1(env),
+                HarnessScale::Full => gen::permuted_cycle(env, FULL_CYCLE_N as u32, 1),
+            },
         },
         Workload {
             name: "nested-cycles",
@@ -329,16 +383,21 @@ fn workloads() -> Vec<Workload> {
         },
         Workload {
             name: "dag",
-            n_nodes: |s| s.pick(300, 3000),
-            build: |env, s| {
-                let n = s.pick(300, 3000);
-                gen::dag_layered(env, n, 6, n as u64 * 3, 5)
+            n_nodes: |s| s.pick(SMOKE_DAG_N, FULL_DAG_N),
+            build: |env, s| match s {
+                HarnessScale::Smoke => smoke_workload("dag").1(env),
+                HarnessScale::Full => {
+                    gen::dag_layered(env, FULL_DAG_N as u32, 6, FULL_DAG_N * 3, 5)
+                }
             },
         },
         Workload {
             name: "web",
-            n_nodes: |s| s.pick(600, 5000),
-            build: |env, s| gen::web_like(env, s.pick(600, 5000), 4.0, 11),
+            n_nodes: |s| s.pick(SMOKE_WEB_N, FULL_WEB_N),
+            build: |env, s| match s {
+                HarnessScale::Smoke => smoke_workload("web").1(env),
+                HarnessScale::Full => gen::web_like(env, FULL_WEB_N as u32, 4.0, 11),
+            },
         },
         Workload {
             name: "planted",
@@ -350,10 +409,12 @@ fn workloads() -> Vec<Workload> {
         },
         Workload {
             name: "gnm",
-            n_nodes: |s| s.pick(300, 2500),
-            build: |env, s| {
-                let n = s.pick(300, 2500);
-                gen::random_gnm(env, n, n as u64 * 4, 9)
+            n_nodes: |s| s.pick(SMOKE_GNM_N, FULL_GNM_N),
+            build: |env, s| match s {
+                HarnessScale::Smoke => smoke_workload("gnm").1(env),
+                HarnessScale::Full => {
+                    gen::random_gnm(env, FULL_GNM_N as u32, FULL_GNM_N * 4, 9)
+                }
             },
         },
         Workload {
@@ -365,8 +426,26 @@ fn workloads() -> Vec<Workload> {
 }
 
 /// Block size of every matrix environment: small enough that even the smoke
-/// graphs span many blocks.
-const MATRIX_BLOCK: usize = 512;
+/// graphs span many blocks. Public because the bench scenario
+/// ([`smoke_workloads`] / [`tight_budget`]) is defined against it.
+pub const MATRIX_BLOCK: usize = 512;
+
+/// Memory budget in bytes that fits the semi-external state of `nodes`
+/// nodes under the matrix block size — the one formula behind every budget
+/// regime.
+fn budget_for(nodes: u64) -> usize {
+    let cfg = IoConfig::new(MATRIX_BLOCK, 4 * MATRIX_BLOCK);
+    let need = ce_semi_scc::mem_required(SemiSccKind::Coloring, nodes.max(2), &cfg);
+    (need as usize).max(2 * MATRIX_BLOCK)
+}
+
+/// The tight memory regime's budget in bytes for an `n_nodes`-node graph:
+/// semi-external state for ~|V|/3 nodes, so Ext-SCC must genuinely contract
+/// (the regime the paper's figures sweep). Shared between the matrix's
+/// tight scenarios and the `ce-bench` emitter / I/O-regression tests.
+pub fn tight_budget(n_nodes: u64) -> usize {
+    budget_for(n_nodes / 3)
+}
 
 /// One storage configuration of the matrix.
 struct StorageMode {
@@ -404,13 +483,10 @@ impl BudgetKind {
 
     /// The memory budget in bytes for a graph of `n` nodes.
     fn bytes(&self, n: u64) -> usize {
-        let cfg = IoConfig::new(MATRIX_BLOCK, 4 * MATRIX_BLOCK);
-        let nodes = match self {
-            BudgetKind::Tight => n / 3,
-            BudgetKind::Roomy => n * 2,
-        };
-        let need = ce_semi_scc::mem_required(SemiSccKind::Coloring, nodes.max(2), &cfg);
-        (need as usize).max(2 * MATRIX_BLOCK)
+        match self {
+            BudgetKind::Tight => tight_budget(n),
+            BudgetKind::Roomy => budget_for(n * 2),
+        }
     }
 }
 

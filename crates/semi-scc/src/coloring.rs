@@ -25,7 +25,7 @@ use std::io;
 use ce_extmem::{sort_by_key, DiskEnv, ExtFile};
 use ce_graph::types::{Edge, SccLabel};
 
-use crate::{normalize_min_rep, remap_edges, write_labels, SemiSccReport};
+use crate::{normalize_min_rep, remap_stream, write_labels, SemiSccReport};
 
 const UNASSIGNED: u32 = u32::MAX;
 
@@ -46,10 +46,10 @@ pub fn coloring_scc(
         "node count must fit in u32 with a sentinel to spare"
     );
 
-    let remapped = remap_edges(env, edges, nodes)?;
-    let asc = sort_by_key(env, &remapped, "semi-asc", |&(u, _)| u)?;
-    let desc = sort_by_key(env, &remapped, "semi-desc", |&(u, _)| Reverse(u))?;
-    drop(remapped);
+    // Each scan order sorts a fresh remap stream — the remapped edge list
+    // itself is never materialized (see `remap_stream`).
+    let asc = sort_by_key(env, remap_stream(edges, nodes)?, "semi-asc", |&(u, _)| u)?;
+    let desc = sort_by_key(env, remap_stream(edges, nodes)?, "semi-desc", |&(u, _)| Reverse(u))?;
 
     let mut scc = vec![UNASSIGNED; n];
     let mut color = vec![0u32; n];

@@ -101,27 +101,59 @@ pub fn semi_scc(
     }
 }
 
-/// Remaps `edges` onto dense indices `0..nodes.len()` via binary search over
-/// the sorted `nodes` slice, writing the result to a scratch file. Shared by
-/// both algorithms: one sequential scan of the edge file.
-pub(crate) fn remap_edges(
-    env: &DiskEnv,
+/// Streams `edges` remapped onto dense indices `0..nodes.len()` via binary
+/// search over the sorted `nodes` slice. Shared by both algorithms, which
+/// feed it straight into their scan-order sorts' run formation — the
+/// remapped edge list is never materialized (a fallible map, implemented as
+/// a custom [`SortedStream`](ce_extmem::SortedStream) so unknown endpoints
+/// still surface as errors mid-stream).
+pub(crate) struct RemapStream<'a> {
+    inner: ce_extmem::FileStream<Edge>,
+    nodes: &'a [u32],
+}
+
+pub(crate) fn remap_stream<'a>(
     edges: &ExtFile<Edge>,
-    nodes: &[u32],
-) -> io::Result<ExtFile<(u32, u32)>> {
+    nodes: &'a [u32],
+) -> io::Result<RemapStream<'a>> {
     debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted unique");
-    let dense = |id: u32| -> io::Result<u32> {
-        nodes
-            .binary_search(&id)
-            .map(|i| i as u32)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("edge endpoint {id} not in node set")))
-    };
-    let mut r = edges.reader()?;
-    let mut w = env.writer::<(u32, u32)>("semi-remapped")?;
-    while let Some(e) = r.next()? {
-        w.push((dense(e.src)?, dense(e.dst)?))?;
+    Ok(RemapStream {
+        inner: edges.stream()?,
+        nodes,
+    })
+}
+
+impl ce_extmem::SortedStream<(u32, u32)> for RemapStream<'_> {
+    fn next(&mut self) -> io::Result<Option<(u32, u32)>> {
+        let nodes = self.nodes;
+        let dense = |id: u32| -> io::Result<u32> {
+            nodes
+                .binary_search(&id)
+                .map(|i| i as u32)
+                .map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("edge endpoint {id} not in node set"),
+                    )
+                })
+        };
+        match self.inner.next()? {
+            Some(e) => Ok(Some((dense(e.src)?, dense(e.dst)?))),
+            None => Ok(None),
+        }
     }
-    w.finish()
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+impl<'a> ce_extmem::SortedSource<(u32, u32)> for RemapStream<'a> {
+    type Stream = RemapStream<'a>;
+
+    fn open_sorted(self) -> io::Result<Self> {
+        Ok(self)
+    }
 }
 
 /// Rewrites a dense `scc_of` assignment (each entry an arbitrary member index
@@ -259,7 +291,7 @@ mod tests {
         let edges = env
             .file_from_slice("e", &[Edge::new(2, 9)])
             .unwrap();
-        let err = remap_edges(&env, &edges, &[2, 5]).unwrap_err();
+        let err = ce_extmem::SortedStream::count(remap_stream(&edges, &[2, 5]).unwrap()).unwrap_err();
         assert!(err.to_string().contains("not in node set"));
     }
 }

@@ -26,7 +26,7 @@ use std::io;
 use ce_extmem::{sort_by_key, DiskEnv, ExtFile};
 use ce_graph::types::{Edge, SccLabel};
 
-use crate::{normalize_min_rep, remap_edges, write_labels, SemiSccReport};
+use crate::{normalize_min_rep, remap_stream, write_labels, SemiSccReport};
 
 const NONE: u32 = u32::MAX;
 
@@ -83,10 +83,10 @@ pub fn sptree_scc(
         return Ok((ExtFile::empty(env, "semi-labels")?, report));
     }
 
-    let remapped = remap_edges(env, edges, nodes)?;
-    let asc = sort_by_key(env, &remapped, "sp-asc", |&(u, _)| u)?;
-    let desc = sort_by_key(env, &remapped, "sp-desc", |&(u, _)| Reverse(u))?;
-    drop(remapped);
+    // Each scan order sorts a fresh remap stream — the remapped edge list
+    // itself is never materialized (see `remap_stream`).
+    let asc = sort_by_key(env, remap_stream(edges, nodes)?, "sp-asc", |&(u, _)| u)?;
+    let desc = sort_by_key(env, remap_stream(edges, nodes)?, "sp-desc", |&(u, _)| Reverse(u))?;
 
     let mut uf = UnionFind::new(n);
     // Forest state, valid only at union-find representatives.
