@@ -11,9 +11,21 @@
 //! I/O efficiency over time (`BENCH_pr4-baseline.json` vs `BENCH_pr5.json`
 //! records the streaming-pipeline win, for example).
 //!
+//! Wall time is noisy where logical I/Os are not: each cell runs one
+//! discarded warmup pass (page cache, allocator pools) and then `--reps`
+//! measured repetitions, reporting the **median** wall_ms. Logical counts
+//! are taken from the final repetition (identical across repetitions by
+//! construction).
+//!
 //! ```text
-//! cargo run --release -p ce-bench --bin bench_json -- --tag smoke [--out DIR]
+//! cargo run --release -p ce-bench --bin bench_json -- --tag smoke [--out DIR] [--reps K]
+//! cargo run --release -p ce-bench --bin bench_json -- --compare BASE.json CAND.json \
+//!     [--tolerance X]
 //! ```
+//!
+//! `--compare` exits non-zero if any `ok` baseline cell is missing, no
+//! longer `ok`, or slower than `tolerance ×` its baseline wall time — the
+//! CI guard against wall-clock regressions sneaking past the I/O model.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -47,16 +59,47 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+const USAGE: &str = "usage: bench_json --tag <tag> [--out <dir>] [--reps <k>]\n\
+       bench_json --compare <baseline.json> <candidate.json> [--tolerance <x>]";
+
 fn main() -> std::io::Result<()> {
     let mut tag = String::new();
     let mut out_dir = String::from(".");
+    let mut reps = 3usize;
+    let mut compare: Option<(String, String)> = None;
+    let mut tolerance = 3.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tag" => tag = args.next().unwrap_or_default(),
             "--out" => out_dir = args.next().unwrap_or_default(),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps needs a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--compare" => {
+                let base = args.next().unwrap_or_default();
+                let cand = args.next().unwrap_or_default();
+                compare = Some((base, cand));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&x| x > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance needs a positive number");
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
-                println!("usage: bench_json --tag <tag> [--out <dir>]");
+                println!("{USAGE}");
                 return Ok(());
             }
             other => {
@@ -65,8 +108,12 @@ fn main() -> std::io::Result<()> {
             }
         }
     }
+
+    if let Some((base_path, cand_path)) = compare {
+        return run_compare(&base_path, &cand_path, tolerance);
+    }
     if tag.is_empty() || out_dir.is_empty() {
-        eprintln!("usage: bench_json --tag <tag> [--out <dir>]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
 
@@ -76,6 +123,7 @@ fn main() -> std::io::Result<()> {
     writeln!(json, "  \"tag\": \"{}\",", json_escape(&tag)).unwrap();
     writeln!(json, "  \"block_size\": {BLOCK},").unwrap();
     writeln!(json, "  \"budget_regime\": \"tight\",").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
     writeln!(json, "  \"workloads\": [").unwrap();
 
     let workloads = workloads();
@@ -89,15 +137,30 @@ fn main() -> std::io::Result<()> {
         writeln!(json, "      \"engines\": [").unwrap();
         let engines = engines();
         for (ei, algo) in engines.iter().enumerate() {
-            let env = DiskEnv::new_temp(IoConfig::new(BLOCK, mem))?;
-            let g = build(&env)?;
-            let phys0 = env.phys();
-            let m = run_algo(&env, &g, algo.as_ref(), &budget);
-            let phys = env.phys().since(&phys0);
+            // One discarded warmup run, then `reps` measured repetitions;
+            // wall_ms is the median, the deterministic counters come from
+            // the final repetition. Each repetition gets a fresh env so no
+            // pager state carries over.
+            let mut walls = Vec::with_capacity(reps);
+            let mut last = None;
+            for rep in 0..=reps {
+                let env = DiskEnv::new_temp(IoConfig::new(BLOCK, mem))?;
+                let g = build(&env)?;
+                let phys0 = env.phys();
+                let m = run_algo(&env, &g, algo.as_ref(), &budget);
+                let phys = env.phys().since(&phys0);
+                if rep > 0 {
+                    walls.push(m.wall);
+                    last = Some((m, phys));
+                }
+            }
+            let (m, phys) = last.expect("reps >= 1");
+            walls.sort();
+            let wall = walls[walls.len() / 2];
             let (outcome, n_sccs) = match &m.outcome {
-                Outcome::Ok(n) => ("ok", *n as i64),
-                Outcome::Inf => ("inf", -1),
-                Outcome::Dnf(_) => ("dnf", -1),
+                Outcome::Ok(n) => ("ok", n.to_string()),
+                Outcome::Inf => ("inf", "null".to_string()),
+                Outcome::Dnf(_) => ("dnf", "null".to_string()),
             };
             println!(
                 "  {:<12} {:>4}  logical {:>8}  physical {:>8}  {:>9.2?}",
@@ -105,7 +168,7 @@ fn main() -> std::io::Result<()> {
                 outcome,
                 m.ios,
                 phys.transfers(),
-                m.wall
+                wall
             );
             writeln!(json, "        {{").unwrap();
             writeln!(json, "          \"name\": \"{}\",", json_escape(m.algo)).unwrap();
@@ -114,7 +177,7 @@ fn main() -> std::io::Result<()> {
             writeln!(json, "          \"logical_ios\": {},", m.ios).unwrap();
             writeln!(json, "          \"logical_rand_ios\": {},", m.rand_ios).unwrap();
             writeln!(json, "          \"physical_transfers\": {},", phys.transfers()).unwrap();
-            writeln!(json, "          \"wall_ms\": {:.3}", m.wall.as_secs_f64() * 1e3).unwrap();
+            writeln!(json, "          \"wall_ms\": {:.3}", wall.as_secs_f64() * 1e3).unwrap();
             write!(json, "        }}").unwrap();
             writeln!(json, "{}", if ei + 1 < engines.len() { "," } else { "" }).unwrap();
         }
@@ -131,4 +194,29 @@ fn main() -> std::io::Result<()> {
     f.write_all(json.as_bytes())?;
     println!("wrote {}", path.display());
     Ok(())
+}
+
+/// `--compare` mode: candidate wall times must stay within `tolerance ×` the
+/// baseline on every cell the baseline finished. Exits 1 on violation.
+fn run_compare(base_path: &str, cand_path: &str, tolerance: f64) -> std::io::Result<()> {
+    use ce_bench::trajectory::{compare_wall, parse_cells};
+    let base = parse_cells(&std::fs::read_to_string(base_path)?);
+    let cand = parse_cells(&std::fs::read_to_string(cand_path)?);
+    if base.is_empty() || cand.is_empty() {
+        eprintln!("no cells parsed from {base_path} or {cand_path}");
+        std::process::exit(2);
+    }
+    let violations = compare_wall(&base, &cand, tolerance);
+    for v in &violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "ok: {} cells within {tolerance}x of {base_path}",
+            base.iter().filter(|c| c.outcome == "ok").count()
+        );
+        Ok(())
+    } else {
+        std::process::exit(1);
+    }
 }

@@ -15,5 +15,6 @@
 
 pub mod figures;
 pub mod runner;
+pub mod trajectory;
 
 pub use runner::{human_count, Measurement, Outcome, RunBudget, Scale, SweepTable};

@@ -1,0 +1,203 @@
+//! Parsing and comparison of the committed `BENCH_*.json` trajectory files.
+//!
+//! The `bench_json` emitter writes a fixed, line-oriented JSON shape (one
+//! field per line — see the binary's docs), so a full JSON parser is
+//! unnecessary: [`parse_cells`] recovers the engine × workload cells from
+//! that exact shape, and [`compare_wall`] checks a candidate file's wall
+//! times against a baseline within a tolerance factor. Both the repo's
+//! wall-time regression gate (`tests/io_model.rs`) and the CI compare step
+//! (`bench_json --compare`) go through this module, so the gate and CI can
+//! never disagree about what a BENCH file says.
+
+/// One engine × workload measurement from a `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Workload family (`web`, `cycle`, `dag`, `gnm`, …).
+    pub family: String,
+    /// Engine name (`Ext-SCC`, `Ext-SCC-Op`, `Semi-SCC`, …).
+    pub engine: String,
+    /// `ok`, `inf`, or `dnf`.
+    pub outcome: String,
+    /// SCC count for `ok` cells; `None` where the run did not finish.
+    pub n_sccs: Option<u64>,
+    /// Logical block I/Os of the (deterministic) run.
+    pub logical_ios: u64,
+    /// Median wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl BenchCell {
+    /// `family/engine`, the key cells are matched on.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.family, self.engine)
+    }
+}
+
+fn str_field(line: &str) -> Option<&str> {
+    let (_, v) = line.split_once(':')?;
+    let v = v.trim().trim_end_matches(',');
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn num_field(line: &str) -> Option<f64> {
+    let (_, v) = line.split_once(':')?;
+    v.trim().trim_end_matches(',').parse().ok()
+}
+
+/// Extracts every engine × workload cell from an emitter-shaped BENCH file.
+///
+/// Unknown lines are skipped, so adding fields to the emitter does not break
+/// older parsers; a cell is closed by its `wall_ms` line (the emitter always
+/// writes it last).
+pub fn parse_cells(json: &str) -> Vec<BenchCell> {
+    let mut cells = Vec::new();
+    let mut family = String::new();
+    let mut engine = String::new();
+    let mut outcome = String::new();
+    let mut n_sccs: Option<u64> = None;
+    let mut logical_ios = 0u64;
+    for line in json.lines() {
+        let t = line.trim_start();
+        if t.starts_with("\"family\"") {
+            family = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"name\"") {
+            engine = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"outcome\"") {
+            outcome = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"n_sccs\"") {
+            // `null` (or the legacy `-1` sentinel) means "did not finish".
+            n_sccs = num_field(t).filter(|&v| v >= 0.0).map(|v| v as u64);
+        } else if t.starts_with("\"logical_ios\"") {
+            logical_ios = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"wall_ms\"") {
+            cells.push(BenchCell {
+                family: family.clone(),
+                engine: std::mem::take(&mut engine),
+                outcome: std::mem::take(&mut outcome),
+                n_sccs: n_sccs.take(),
+                logical_ios,
+                wall_ms: num_field(t).unwrap_or(f64::NAN),
+            });
+            logical_ios = 0;
+        }
+    }
+    cells
+}
+
+/// Checks `candidate` against `baseline`: every `ok` baseline cell must
+/// exist in the candidate, still be `ok`, and run within
+/// `tolerance × baseline` wall time. Returns one human-readable violation
+/// per failing cell (empty = pass). Cells the baseline did not finish
+/// (`inf`/`dnf`) are skipped — their wall time measures the budget, not the
+/// engine.
+pub fn compare_wall(
+    baseline: &[BenchCell],
+    candidate: &[BenchCell],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in baseline.iter().filter(|c| c.outcome == "ok") {
+        let key = base.key();
+        let Some(cand) = candidate.iter().find(|c| c.key() == key) else {
+            violations.push(format!("{key}: missing from candidate"));
+            continue;
+        };
+        if cand.outcome != "ok" {
+            violations.push(format!("{key}: outcome {} (baseline ok)", cand.outcome));
+            continue;
+        }
+        let limit = base.wall_ms * tolerance;
+        // NaN fails closed: a wall time that cannot be proven within the
+        // limit counts as a violation.
+        let within = cand
+            .wall_ms
+            .partial_cmp(&limit)
+            .is_some_and(|o| o != std::cmp::Ordering::Greater);
+        if !within {
+            violations.push(format!(
+                "{key}: wall {:.3} ms exceeds {tolerance}x baseline {:.3} ms",
+                cand.wall_ms, base.wall_ms
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "tag": "t",
+  "workloads": [
+    {
+      "family": "web",
+      "engines": [
+        {
+          "name": "Ext-SCC",
+          "outcome": "ok",
+          "n_sccs": 42,
+          "logical_ios": 100,
+          "logical_rand_ios": 3,
+          "physical_transfers": 100,
+          "wall_ms": 2.500
+        },
+        {
+          "name": "EM-SCC",
+          "outcome": "dnf",
+          "n_sccs": null,
+          "logical_ios": 50,
+          "logical_rand_ios": 1,
+          "physical_transfers": 50,
+          "wall_ms": 1.000
+        }
+      ]
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_cells_including_null_sentinels() {
+        let cells = parse_cells(SAMPLE);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key(), "web/Ext-SCC");
+        assert_eq!(cells[0].n_sccs, Some(42));
+        assert_eq!(cells[0].logical_ios, 100);
+        assert_eq!(cells[0].wall_ms, 2.5);
+        assert_eq!(cells[1].outcome, "dnf");
+        assert_eq!(cells[1].n_sccs, None);
+    }
+
+    #[test]
+    fn legacy_minus_one_sentinel_reads_as_none() {
+        let cells = parse_cells(&SAMPLE.replace("\"n_sccs\": null", "\"n_sccs\": -1"));
+        assert_eq!(cells[1].n_sccs, None);
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_skips_dnf() {
+        let base = parse_cells(SAMPLE);
+        let mut cand = base.clone();
+        cand[0].wall_ms = 7.0; // <= 3x of 2.5
+        cand[1].wall_ms = 900.0; // dnf baseline: ignored
+        assert!(compare_wall(&base, &cand, 3.0).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_slow_missing_and_regressed_cells() {
+        let base = parse_cells(SAMPLE);
+        let mut cand = base.clone();
+        cand[0].wall_ms = 8.0;
+        let v = compare_wall(&base, &cand, 3.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("web/Ext-SCC"), "{v:?}");
+
+        cand[0].outcome = "dnf".into();
+        let v = compare_wall(&base, &cand, 3.0);
+        assert!(v[0].contains("outcome dnf"), "{v:?}");
+
+        let v = compare_wall(&base, &cand[1..], 3.0);
+        assert!(v[0].contains("missing"), "{v:?}");
+    }
+}

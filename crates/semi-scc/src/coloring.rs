@@ -55,6 +55,7 @@ pub fn coloring_scc(
     let mut color = vec![0u32; n];
     let mut assigned = 0usize;
     let mut scan_flip = false;
+    let mut ebuf: Vec<(u32, u32)> = Vec::with_capacity(ce_extmem::DEFAULT_BATCH);
 
     while assigned < n {
         report.rounds += 1;
@@ -64,18 +65,25 @@ pub fn coloring_scc(
             *c = if scc[i] == UNASSIGNED { i as u32 } else { UNASSIGNED };
         }
 
-        // 2. Forward max-propagation to fixpoint.
+        // 2. Forward max-propagation to fixpoint, pulling edges a block
+        // batch at a time (the reusable buffer lives across passes).
         loop {
             let file = if scan_flip { &desc } else { &asc };
             scan_flip = !scan_flip;
             report.edge_passes += 1;
             let mut changed = false;
             let mut r = file.reader()?;
-            while let Some((u, v)) = r.next()? {
-                let (u, v) = (u as usize, v as usize);
-                if scc[u] == UNASSIGNED && scc[v] == UNASSIGNED && color[u] > color[v] {
-                    color[v] = color[u];
-                    changed = true;
+            loop {
+                ebuf.clear();
+                if r.next_batch(&mut ebuf, ce_extmem::DEFAULT_BATCH)? == 0 {
+                    break;
+                }
+                for &(u, v) in &ebuf {
+                    let (u, v) = (u as usize, v as usize);
+                    if scc[u] == UNASSIGNED && scc[v] == UNASSIGNED && color[u] > color[v] {
+                        color[v] = color[u];
+                        changed = true;
+                    }
                 }
             }
             if !changed {
@@ -93,19 +101,25 @@ pub fn coloring_scc(
         }
         debug_assert!(newly > 0, "every round must find at least one root");
 
-        // 4. Backward peeling to fixpoint.
+        // 4. Backward peeling to fixpoint (same batched scan).
         loop {
             let file = if scan_flip { &desc } else { &asc };
             scan_flip = !scan_flip;
             report.edge_passes += 1;
             let mut changed = false;
             let mut r = file.reader()?;
-            while let Some((u, v)) = r.next()? {
-                let (u, v) = (u as usize, v as usize);
-                if scc[u] == UNASSIGNED && scc[v] != UNASSIGNED && scc[v] == color[u] {
-                    scc[u] = color[u];
-                    newly += 1;
-                    changed = true;
+            loop {
+                ebuf.clear();
+                if r.next_batch(&mut ebuf, ce_extmem::DEFAULT_BATCH)? == 0 {
+                    break;
+                }
+                for &(u, v) in &ebuf {
+                    let (u, v) = (u as usize, v as usize);
+                    if scc[u] == UNASSIGNED && scc[v] != UNASSIGNED && scc[v] == color[u] {
+                        scc[u] = color[u];
+                        newly += 1;
+                        changed = true;
+                    }
                 }
             }
             if !changed {

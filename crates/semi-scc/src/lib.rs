@@ -110,6 +110,7 @@ pub fn semi_scc(
 pub(crate) struct RemapStream<'a> {
     inner: ce_extmem::FileStream<Edge>,
     nodes: &'a [u32],
+    scratch: Vec<Edge>,
 }
 
 pub(crate) fn remap_stream<'a>(
@@ -120,27 +121,37 @@ pub(crate) fn remap_stream<'a>(
     Ok(RemapStream {
         inner: edges.stream()?,
         nodes,
+        scratch: Vec::new(),
+    })
+}
+
+/// Dense index of `id` in the sorted `nodes` slice, or an error naming the
+/// foreign endpoint.
+fn dense(nodes: &[u32], id: u32) -> io::Result<u32> {
+    nodes.binary_search(&id).map(|i| i as u32).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("edge endpoint {id} not in node set"),
+        )
     })
 }
 
 impl ce_extmem::SortedStream<(u32, u32)> for RemapStream<'_> {
     fn next(&mut self) -> io::Result<Option<(u32, u32)>> {
-        let nodes = self.nodes;
-        let dense = |id: u32| -> io::Result<u32> {
-            nodes
-                .binary_search(&id)
-                .map(|i| i as u32)
-                .map_err(|_| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("edge endpoint {id} not in node set"),
-                    )
-                })
-        };
         match self.inner.next()? {
-            Some(e) => Ok(Some((dense(e.src)?, dense(e.dst)?))),
+            Some(e) => Ok(Some((dense(self.nodes, e.src)?, dense(self.nodes, e.dst)?))),
             None => Ok(None),
         }
+    }
+
+    fn next_batch(&mut self, buf: &mut Vec<(u32, u32)>, n: usize) -> io::Result<usize> {
+        self.scratch.clear();
+        let got = self.inner.next_batch(&mut self.scratch, n)?;
+        buf.reserve(got);
+        for e in &self.scratch {
+            buf.push((dense(self.nodes, e.src)?, dense(self.nodes, e.dst)?));
+        }
+        Ok(got)
     }
 
     fn len_hint(&self) -> Option<u64> {
