@@ -19,9 +19,18 @@
 //!
 //! ```text
 //! cargo run --release -p ce-bench --bin bench_json -- --tag smoke [--out DIR] [--reps K]
+//!     [--phases]
 //! cargo run --release -p ce-bench --bin bench_json -- --compare BASE.json CAND.json \
 //!     [--tolerance X]
 //! ```
+//!
+//! The header records the run geometry (`block_size`, `reps`) plus the
+//! *host* filesystem's block size, so a trajectory file carries enough
+//! context to interpret its wall times. `--phases` runs one extra traced
+//! repetition per cell (an in-memory span sink; logical counters are
+//! unaffected) and emits a `"phases"` object attributing the cell's
+//! logical I/Os to span names — contraction iterations, Get-V/Get-E,
+//! sort passes and friends.
 //!
 //! `--compare` exits non-zero if any `ok` baseline cell is missing, no
 //! longer `ok`, or slower than `tolerance ×` its baseline wall time — the
@@ -59,13 +68,29 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-const USAGE: &str = "usage: bench_json --tag <tag> [--out <dir>] [--reps <k>]\n\
+const USAGE: &str = "usage: bench_json --tag <tag> [--out <dir>] [--reps <k>] [--phases]\n\
        bench_json --compare <baseline.json> <candidate.json> [--tolerance <x>]";
+
+/// Block size of the filesystem holding `dir` (what the OS actually
+/// transfers per I/O on this host) — distinct from the model's `block_size`,
+/// which prices the logical counters.
+fn host_block_size(dir: &str) -> u64 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        if let Ok(md) = std::fs::metadata(dir) {
+            return md.blksize();
+        }
+    }
+    let _ = dir;
+    4096
+}
 
 fn main() -> std::io::Result<()> {
     let mut tag = String::new();
     let mut out_dir = String::from(".");
     let mut reps = 3usize;
+    let mut phases = false;
     let mut compare: Option<(String, String)> = None;
     let mut tolerance = 3.0f64;
     let mut args = std::env::args().skip(1);
@@ -83,6 +108,7 @@ fn main() -> std::io::Result<()> {
                         std::process::exit(2);
                     })
             }
+            "--phases" => phases = true,
             "--compare" => {
                 let base = args.next().unwrap_or_default();
                 let cand = args.next().unwrap_or_default();
@@ -118,10 +144,12 @@ fn main() -> std::io::Result<()> {
     }
 
     let budget = RunBudget::capped(50_000_000, Duration::from_secs(600));
+    std::fs::create_dir_all(&out_dir)?;
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"tag\": \"{}\",", json_escape(&tag)).unwrap();
     writeln!(json, "  \"block_size\": {BLOCK},").unwrap();
+    writeln!(json, "  \"host_block_size\": {},", host_block_size(&out_dir)).unwrap();
     writeln!(json, "  \"budget_regime\": \"tight\",").unwrap();
     writeln!(json, "  \"reps\": {reps},").unwrap();
     writeln!(json, "  \"workloads\": [").unwrap();
@@ -157,6 +185,28 @@ fn main() -> std::io::Result<()> {
             let (m, phys) = last.expect("reps >= 1");
             walls.sort();
             let wall = walls[walls.len() / 2];
+            // `--phases`: one extra traced repetition outside the measured
+            // set (the sink allocates, so its wall time is not comparable),
+            // attributing the cell's logical I/Os to span names via each
+            // span's self-delta.
+            let phases_json = if phases {
+                let env = DiskEnv::new_temp(IoConfig::new(BLOCK, mem))?;
+                let g = build(&env)?;
+                let sink = std::rc::Rc::new(ce_obs::MemSink::new());
+                let guard = ce_obs::install(sink.clone());
+                let _ = run_algo(&env, &g, algo.as_ref(), &budget);
+                drop(guard);
+                let per = ce_obs::MemSink::self_by_name(&sink.take(), "ios");
+                let mut s = String::from("{");
+                for (i, (name, ios)) in per.iter().enumerate() {
+                    let sep = if i > 0 { ", " } else { "" };
+                    write!(s, "{sep}\"{}\": {ios}", json_escape(name)).unwrap();
+                }
+                s.push('}');
+                Some(s)
+            } else {
+                None
+            };
             let (outcome, n_sccs) = match &m.outcome {
                 Outcome::Ok(n) => ("ok", n.to_string()),
                 Outcome::Inf => ("inf", "null".to_string()),
@@ -177,7 +227,17 @@ fn main() -> std::io::Result<()> {
             writeln!(json, "          \"logical_ios\": {},", m.ios).unwrap();
             writeln!(json, "          \"logical_rand_ios\": {},", m.rand_ios).unwrap();
             writeln!(json, "          \"physical_transfers\": {},", phys.transfers()).unwrap();
-            writeln!(json, "          \"wall_ms\": {:.3}", wall.as_secs_f64() * 1e3).unwrap();
+            match &phases_json {
+                Some(p) => {
+                    writeln!(json, "          \"wall_ms\": {:.3},", wall.as_secs_f64() * 1e3)
+                        .unwrap();
+                    writeln!(json, "          \"phases\": {p}").unwrap();
+                }
+                None => {
+                    writeln!(json, "          \"wall_ms\": {:.3}", wall.as_secs_f64() * 1e3)
+                        .unwrap()
+                }
+            }
             write!(json, "        }}").unwrap();
             writeln!(json, "{}", if ei + 1 < engines.len() { "," } else { "" }).unwrap();
         }
@@ -188,7 +248,6 @@ fn main() -> std::io::Result<()> {
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
 
-    std::fs::create_dir_all(&out_dir)?;
     let path = std::path::Path::new(&out_dir).join(format!("BENCH_{tag}.json"));
     let mut f = std::fs::File::create(&path)?;
     f.write_all(json.as_bytes())?;

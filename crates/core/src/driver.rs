@@ -5,7 +5,7 @@ use std::fmt;
 use std::io;
 use std::time::{Duration, Instant};
 
-use ce_extmem::{anti_join, sort_dedup_streaming_by_key, DiskEnv, ExtFile, IoSnapshot};
+use ce_extmem::{anti_join, io_span, sort_dedup_streaming_by_key, DiskEnv, ExtFile, IoSnapshot};
 use ce_graph::types::SccLabel;
 use ce_graph::EdgeListGraph;
 use ce_semi_scc::{mem_required, semi_scc, SemiSccKind, SemiSccReport};
@@ -360,6 +360,9 @@ impl ExtScc {
         let budget = io_cfg.mem_budget as u64;
         let start = Instant::now();
         let io0 = env.stats().snapshot();
+        // Root of the trace tree; declared first so it closes (and reports
+        // the whole run's counter deltas) after every phase span below.
+        let _run_span = io_span!(env, "run", nodes = g.n_nodes(), edges = g.n_edges());
 
         if mem_required(self.cfg.semi, 2, &io_cfg) > budget {
             return Err(ExtSccError::MemoryTooSmall {
@@ -405,6 +408,7 @@ impl ExtScc {
             }
             let it_io = env.stats().snapshot();
             let it_t = Instant::now();
+            let _sp = io_span!(env, "iter", level = levels.len() + 1, nodes = n_cur);
 
             let mut lazy = self.cfg.lazy_dedup;
             if let Some(guard) = self.cfg.edge_blowup_guard {
@@ -421,7 +425,10 @@ impl ExtScc {
                     level: levels.len() + 1,
                 });
             }
-            let removed = anti_join(env, "removed", &cur_nodes, |&v| v, &cover, |&v| v)?;
+            let removed = {
+                let _sp = io_span!(env, "removed");
+                anti_join(env, "removed", &cur_nodes, |&v| v, &cover, |&v| v)?
+            };
             let ge = get_e(env, &orders, &cover, &ge_opts)?;
 
             contraction.push(IterationStats {
@@ -453,10 +460,15 @@ impl ExtScc {
         let semi_io = env.stats().snapshot();
         let semi_t = Instant::now();
         let base_edges = cur_edges.len();
-        let nodes_vec: Vec<u32> = cur_nodes.read_all()?;
-        let (mut scc_cur, semi_report) = semi_scc(env, self.cfg.semi, &cur_edges, &nodes_vec)?;
-        drop(nodes_vec);
-        drop(cur_edges);
+        let (mut scc_cur, semi_report) = {
+            let _sp = io_span!(env, "semi", nodes = n_cur, edges = base_edges);
+            ce_obs::metrics::gauge_set("semi.base_nodes", n_cur);
+            let nodes_vec: Vec<u32> = cur_nodes.read_all()?;
+            let out = semi_scc(env, self.cfg.semi, &cur_edges, &nodes_vec)?;
+            drop(nodes_vec);
+            drop(cur_edges);
+            out
+        };
         let semi_ios = env.stats().snapshot().since(&semi_io);
         let semi_wall = semi_t.elapsed();
 
@@ -466,6 +478,7 @@ impl ExtScc {
             self.check_limits(start, &io0)?;
             let ex_io = env.stats().snapshot();
             let ex_t = Instant::now();
+            let _sp = io_span!(env, "expand", level = idx + 1);
             let (next, counts) = expand(env, &level.files, &scc_cur)?;
             scc_cur = next;
             expansion.push(ExpansionStats {
@@ -480,8 +493,10 @@ impl ExtScc {
         // Count distinct SCCs: sort the |V| label records by SCC id but
         // leave the final merge streaming — the count consumes the merged
         // run heads directly, so no deduplicated file is ever written.
-        let n_sccs =
-            sort_dedup_streaming_by_key(env, &scc_cur, "scc-ids", |l: &SccLabel| l.scc)?.count()?;
+        let n_sccs = {
+            let _sp = io_span!(env, "count_sccs");
+            sort_dedup_streaming_by_key(env, &scc_cur, "scc-ids", |l: &SccLabel| l.scc)?.count()?
+        };
 
         let report = RunReport {
             contraction,

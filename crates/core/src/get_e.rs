@@ -67,6 +67,7 @@ pub fn get_e(
     cover: &ExtFile<u32>,
     opts: &GetEOptions,
 ) -> io::Result<GetEResult> {
+    let _sp = ce_extmem::io_span!(env, "get_e");
     // Lines 3-4: incoming edges of removed nodes, out-edges of removed nodes.
     let mut edel_in = anti_join(env, "edel-in", &orders.ein, |e| e.dst, cover, |&v| v)?;
     let mut odel = anti_join(env, "odel", &orders.eout, |e| e.src, cover, |&v| v)?;

@@ -121,6 +121,7 @@ pub fn get_v(
     orders: &EdgeOrders,
     opts: &GetVOptions,
 ) -> io::Result<(ExtFile<u32>, CoverStats)> {
+    let _sp = ce_extmem::io_span!(env, "get_v");
     let mut stats = CoverStats::default();
 
     // Line 4: degree table (with Type-1 filter folded in).

@@ -29,6 +29,7 @@ pub struct EdgeOrders {
 /// sorting `E_in` (Section VII edge reduction), and `E_out` re-sorts the
 /// deduplicated file.
 pub fn build_orders(env: &DiskEnv, edges: &ExtFile<Edge>, lazy_dedup: bool) -> io::Result<EdgeOrders> {
+    let _sp = ce_extmem::io_span!(env, "build_orders");
     if lazy_dedup {
         let ein = sort_dedup_by_key(env, edges, "ein", Edge::by_dst)?;
         let eout = sort_by_key(env, &ein, "eout", Edge::by_src)?;

@@ -37,6 +37,11 @@ impl DiskBitmap {
         })
     }
 
+    /// `(hits, misses)` of the bit-block cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
     /// Number of flags.
     pub fn len(&self) -> u64 {
         self.n

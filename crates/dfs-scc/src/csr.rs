@@ -89,6 +89,13 @@ impl DiskCsr {
         self.n_nodes
     }
 
+    /// Aggregated `(hits, misses)` of the offset and target block caches.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let (h1, m1) = self.offsets.stats();
+        let (h2, m2) = self.targets.stats();
+        (h1 + h2, m1 + m2)
+    }
+
     /// `|E|`.
     pub fn n_edges(&self) -> u64 {
         self.n_edges

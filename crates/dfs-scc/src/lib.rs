@@ -266,12 +266,14 @@ pub fn dfs_scc(
     let blocks = env.config().blocks_in_memory();
     let cache_blocks = (blocks / 8).max(2);
     let window = (env.config().block_size / 12).max(16);
+    let _run_sp = ce_extmem::io_span!(env, "dfs_run", nodes = n);
 
     let mut brt_total: Option<BrtStats> = None;
     let mut max_depth = 0u64;
 
     // ---- Pass 1: DFS on G in id order; record the postorder. ----
     let postorder: ExtFile<u32> = {
+        let _sp = ce_extmem::io_span!(env, "dfs_pass", pass = 1u32);
         let csr = DiskCsr::build(env, g, false, cache_blocks)?;
         let notif = match cfg.mode {
             DfsMode::Brt => Some(DiskCsr::build(env, g, true, cache_blocks)?),
@@ -298,11 +300,13 @@ pub fn dfs_scc(
         if let Some(b) = &t.brt {
             brt_total = Some(b.stats());
         }
+        emit_cache_counters(&t);
         post.finish()?
     };
 
     // ---- Pass 2: DFS on Ḡ with roots in decreasing postorder. ----
     let labels_unsorted: ExtFile<SccLabel> = {
+        let _sp = ce_extmem::io_span!(env, "dfs_pass", pass = 2u32);
         let csr = DiskCsr::build(env, g, true, cache_blocks)?;
         let notif = match cfg.mode {
             DfsMode::Brt => Some(DiskCsr::build(env, g, false, cache_blocks)?),
@@ -336,6 +340,7 @@ pub fn dfs_scc(
             total.probes += s.probes;
             total.resident += s.resident;
         }
+        emit_cache_counters(&t);
         w.finish()?
     };
 
@@ -359,6 +364,26 @@ pub fn dfs_scc(
             n_sccs,
         },
     ))
+}
+
+/// Rolls one pass's block-cache totals into the `ce-obs` metrics registry.
+/// Called once per DFS pass — the per-probe hot path keeps its plain `u64`
+/// hit/miss fields (see [`cache::CachedFile::stats`]) and stays untouched.
+fn emit_cache_counters(t: &Traversal<'_>) {
+    if !ce_extmem::obs::enabled() {
+        return;
+    }
+    let (mut hits, mut misses) = t.csr.cache_stats();
+    if let Some(nf) = &t.notif {
+        let (h, m) = nf.cache_stats();
+        hits += h;
+        misses += m;
+    }
+    let (h, m) = t.visited.cache_stats();
+    hits += h;
+    misses += m;
+    ce_obs::metrics::counter_add("dfs.cache.hits", hits);
+    ce_obs::metrics::counter_add("dfs.cache.misses", misses);
 }
 
 /// Reads a `u32` file back-to-front in block-sized chunks.

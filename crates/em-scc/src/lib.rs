@@ -148,6 +148,7 @@ pub fn em_scc(
 ) -> Result<(ExtFile<SccLabel>, EmSccReport), EmSccError> {
     let start = Instant::now();
     let io0 = env.stats().snapshot();
+    let _run_sp = ce_extmem::io_span!(env, "em_run", nodes = g.n_nodes(), edges = g.n_edges());
     let budget = env.config().mem_budget;
     // An in-memory chunk needs edges + CSR + the local id remap; 32 bytes
     // per edge is a conservative accounting.
@@ -190,6 +191,7 @@ pub fn em_scc(
             });
         }
         let n_edges = edges.len();
+        let _sp = ce_extmem::io_span!(env, "em_iter", iter = iterations.len() + 1, edges = n_edges);
 
         // Pass 1: per-chunk in-memory SCCs -> contraction pairs (member, rep).
         let mut pairs = env.writer::<SccLabel>("em-pairs")?;

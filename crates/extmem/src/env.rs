@@ -205,6 +205,13 @@ impl DiskEnv {
         self.inner.pager.phys()
     }
 
+    /// Opens an [`crate::IoSpan`] attributing the logical/physical I/O
+    /// consumed until its drop to a named trace node (see [`crate::trace`]).
+    /// Inert and essentially free when no `ce-obs` sink is installed.
+    pub fn io_span(&self, name: &'static str, fields: &[ce_obs::Field]) -> crate::IoSpan {
+        crate::IoSpan::start(self, name, fields)
+    }
+
     /// The pager storing this environment's blocks.
     pub(crate) fn pager(&self) -> &Pager {
         &self.inner.pager

@@ -54,6 +54,14 @@
 //! All scratch files live inside a [`DiskEnv`], are deleted on drop, and share
 //! one [`stats::IoStats`] counter so experiments can report exact I/O numbers
 //! per phase.
+//!
+//! # Observability
+//!
+//! Any region of engine code can be wrapped in an [`IoSpan`] (usually via the
+//! [`io_span!`] macro), which attributes the exact logical and physical
+//! counter deltas consumed between open and drop to a node of the `ce-obs`
+//! trace tree — see [`trace`] for the counter vocabulary. With no sink
+//! installed spans are inert: one branch, no snapshot, no allocation.
 
 pub mod brt;
 pub mod config;
@@ -65,7 +73,12 @@ pub mod sort;
 pub mod sorted;
 pub mod stats;
 pub mod stream;
+pub mod trace;
 
+/// Re-export of the observability layer, so engine crates built on this one
+/// can open plain (non-I/O) spans and update metrics without a direct
+/// `ce-obs` dependency.
+pub use ce_obs as obs;
 pub use ce_pager::{BackendKind, PhysSnapshot};
 pub use config::IoConfig;
 pub use env::{DiskEnv, EnvOptions};
@@ -81,3 +94,4 @@ pub use sort::{
 pub use sorted::{FileStream, Peeked, SortedSource, SortedStream, DEFAULT_BATCH};
 pub use stats::{IoSnapshot, IoStats};
 pub use stream::{ExtFile, PeekReader, RecordReader, RecordWriter};
+pub use trace::IoSpan;

@@ -214,6 +214,7 @@ where
     let fan_in = env.config().sort_fan_in().max(2);
     let mut pass = 0usize;
     while runs.len() > fan_in {
+        let _sp = crate::io_span!(env, "merge_pass", pass = pass, runs_in = runs.len());
         let mut next: Vec<ExtFile<T>> = Vec::with_capacity(runs.len().div_ceil(fan_in));
         let mut it = runs.into_iter();
         let mut gi = 0usize;
@@ -273,6 +274,7 @@ where
     F: Fn(&T) -> K + Copy,
     S: SortedStream<T>,
 {
+    let _sp = crate::io_span!(env, "run_formation");
     let run_records = (env.config().mem_budget / T::SIZE).max(1);
     let mut runs: Vec<ExtFile<T>> = Vec::new();
     let cap = match input.len_hint() {
@@ -308,6 +310,7 @@ where
             }
             last = Some(k);
         }
+        ce_obs::metrics::observe("sort.run_records", chunk.len() as u64);
         runs.push(w.finish()?);
     }
     Ok(runs)

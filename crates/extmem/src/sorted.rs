@@ -118,6 +118,7 @@ pub trait SortedStream<T: Record>: Sized {
     /// once, a persisted output). Costs `write(m)` logical I/Os on top of
     /// whatever producing the records costs.
     fn materialize(mut self, env: &DiskEnv, label: &str) -> io::Result<ExtFile<T>> {
+        let _sp = crate::io_span!(env, "materialize");
         let mut w = env.writer::<T>(label)?;
         let mut batch: Vec<T> = Vec::with_capacity(DEFAULT_BATCH);
         loop {

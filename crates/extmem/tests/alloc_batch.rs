@@ -10,7 +10,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ce_extmem::{sort_streaming_by_key, DiskEnv, IoConfig, SortedStream};
+use std::rc::Rc;
+
+use ce_extmem::{io_span, obs, sort_streaming_by_key, DiskEnv, IoConfig, SortedStream};
 
 struct CountingAlloc;
 
@@ -53,13 +55,22 @@ fn merge_batch_pulls_are_allocation_free_after_warmup() {
     let warm = s.next_batch(&mut batch, 64).unwrap();
     assert_eq!(warm, 64);
 
+    // The disabled observability path must be equally allocation-free: with
+    // `NullSink` installed (== tracing disabled), opening a span around the
+    // steady-state drain may not snapshot, box, or grow anything.
+    let _obs = obs::install(Rc::new(obs::NullSink));
+
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut total = warm;
-    loop {
-        let got = s.next_batch(&mut batch, 64).unwrap();
-        total += got;
-        if got < 64 {
-            break;
+    {
+        let sp = io_span!(&env, "drain");
+        assert!(!sp.is_active(), "NullSink must keep tracing disabled");
+        loop {
+            let got = s.next_batch(&mut batch, 64).unwrap();
+            total += got;
+            if got < 64 {
+                break;
+            }
         }
     }
     let after = ALLOCS.load(Ordering::Relaxed);

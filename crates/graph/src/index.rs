@@ -254,6 +254,7 @@ impl SccIndex {
                 labels.len()
             )));
         }
+        let _sp = ce_extmem::io_span!(env, "index_build", nodes = n_nodes);
         let page = env.config().block_size as u64;
         let mut file = CountedFile::create_persistent(env, path)?;
         let mut fnv = Fnv::new();
@@ -351,6 +352,7 @@ impl SccIndex {
     /// flipped is rejected here with an [`io::ErrorKind::InvalidData`]
     /// checksum/geometry error — corruption never reaches query answers.
     pub fn open(env: &DiskEnv, path: &Path) -> io::Result<SccIndex> {
+        let _sp = ce_extmem::io_span!(env, "index_open");
         let mut file = CountedFile::open_read(env, path)?;
         let mut buf = [0u8; HEADER_LEN];
         if file.read_at(0, &mut buf)? != HEADER_LEN {

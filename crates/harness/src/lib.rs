@@ -259,6 +259,9 @@ fn check_one(
         outcome: CellOutcome::Fail,
         detail: Some(detail),
     };
+    // One span per matrix cell: when a sink is installed (e.g. a traced
+    // conformance sweep), each algorithm run becomes its own trace root.
+    let _sp = ce_extmem::io_span!(env, "harness_cell", nodes = g.n_nodes());
     let run = match algo.run(env, g) {
         Ok(run) => run,
         Err(AlgoError::Stalled(why)) if algo.may_stall() => {

@@ -1,0 +1,79 @@
+//! `ce-obs` — tracing spans, a metrics registry, and pluggable sinks.
+//!
+//! This crate is the observability layer of the workspace: dependency-free,
+//! offline-safe, and deliberately tiny. The engines (`ce-core`, `ce-extmem`,
+//! `ce-semi-scc`, …) open an RAII [`Span`] around each unit of work worth
+//! attributing — a contraction iteration, a Get-V phase, one sort merge pass,
+//! a coloring round — and close it with the **counter deltas** that unit
+//! consumed (logical I/Os, physical transfers). A pluggable [`Sink`] receives
+//! the resulting event stream; nothing here knows what the counters mean.
+//!
+//! # Span/sink contract
+//!
+//! * Spans form a proper stack per thread: they are opened and closed in LIFO
+//!   order (guaranteed by RAII scoping), so every [`Sink`] can reconstruct the
+//!   attribution tree from the event stream alone. The thread-local depth at
+//!   open time is passed to the sink with each event.
+//! * Fields and counters are `(&'static str, u64)` pairs ([`Field`]). Static
+//!   names keep the disabled path allocation-free and make sink output
+//!   byte-stable; `u64` values keep it platform-independent.
+//! * A span's *counters* are deltas measured by whoever opened it (see
+//!   `DiskEnv::io_span` in `ce-extmem`, which snapshots `IoStats`/`PhysStats`
+//!   at open and reports the difference at close). Children are fully nested
+//!   within their parent, so a parent's delta is always ≥ the sum of its
+//!   children's — the difference is the parent's *self* (unattributed) cost.
+//! * Sinks are **thread-local**: [`install`] affects only the calling thread
+//!   and returns a guard that restores the previous sink on drop. The engines
+//!   are single-threaded, and thread-locality keeps parallel test binaries
+//!   from observing each other.
+//!
+//! # Determinism rules
+//!
+//! Anything a golden test might capture must be byte-stable across runs and
+//! hosts. Logical counters are (they are a pure function of the input and the
+//! I/O model); wall-clock times are not. Therefore:
+//!
+//! * wall times are carried out-of-band (a separate `wall_ns` argument, never
+//!   a counter) and every renderer omits them **by default** — the JSON-lines
+//!   sink only emits `"wall_ns"` when built via [`JsonSink::with_wall`], and
+//!   [`MemSink::render_human`] has an explicit `with_wall` flag;
+//! * map-ordered containers (`BTreeMap`) back every aggregate so iteration
+//!   order never depends on hashing;
+//! * instrumentation must never perturb the I/O model itself: spans only
+//!   *read* counters (pinned by a proptest comparing traced and untraced
+//!   runs bit-for-bit).
+//!
+//! # Zero cost when disabled
+//!
+//! With no sink installed — or with [`NullSink`] installed — [`enabled`]
+//! returns `false` and `span!` returns an inert guard: no allocation, no
+//! counter snapshot, no virtual call. The steady-state zero-allocation test
+//! in `ce-extmem` runs its merge drain inside a disabled span to pin this.
+//!
+//! ```
+//! use ce_obs::{span, MemSink};
+//! use std::rc::Rc;
+//!
+//! let sink = Rc::new(MemSink::new());
+//! let _guard = ce_obs::install(sink.clone());
+//! {
+//!     let outer = span!("get_v", iter = 3u32);
+//!     let inner = span!("merge_pass", pass = 0u32);
+//!     inner.close(&[("ios", 12)], 0);
+//!     outer.close(&[("ios", 40)], 0);
+//! }
+//! let roots = sink.take();
+//! assert_eq!(roots[0].name, "get_v");
+//! assert_eq!(roots[0].children[0].counter("ios"), Some(12));
+//! ```
+
+pub mod metrics;
+mod sink;
+mod span;
+
+pub use sink::{JsonSink, MemSink, NullSink, Sink, SpanNode};
+pub use span::{enabled, install, SinkGuard, Span};
+
+/// A named value attached to a span or event. Names are `&'static str` so the
+/// disabled path never allocates and sink output stays byte-stable.
+pub type Field = (&'static str, u64);

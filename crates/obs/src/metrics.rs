@@ -1,0 +1,201 @@
+//! Thread-local metrics registry: counters, gauges, and histograms.
+//!
+//! Metrics complement spans: spans attribute cost to a *place in the call
+//! tree*, metrics accumulate named totals across the whole run (pager
+//! evictions, DFS cache hits, run-formation sizes). Every update is gated on
+//! [`enabled`] — with no live sink the registry is never touched — and is
+//! forwarded to the installed sink as an event, so the JSON-lines sink sees
+//! metrics inline with spans while the registry keeps the rolled-up values
+//! for end-of-run rendering via [`snapshot`].
+//!
+//! Like the sink itself the registry is thread-local; [`reset`] clears it
+//! (callers typically reset right after installing a sink).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::span::{enabled, with_sink};
+
+/// Summary of one histogram. `buckets[i]` counts observations `v` with
+/// `bit_width(v) == i` (i.e. power-of-two buckets; `v = 0` lands in bucket
+/// 0), which is deterministic and cheap to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; 65],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[(u64::BITS - v.leading_zeros()) as usize] += 1;
+    }
+}
+
+/// Point-in-time value of one metric, as returned by [`snapshot`].
+/// The histogram payload is boxed so the enum stays two words wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(Box<Histogram>),
+}
+
+thread_local! {
+    static REGISTRY: RefCell<BTreeMap<&'static str, Metric>> =
+        const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Adds `delta` to the named counter (creating it at zero). No-op when
+/// tracing is disabled.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.with(|r| {
+        match r.borrow_mut().entry(name).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => *other = Metric::Counter(delta),
+        }
+    });
+    with_sink(|s| s.counter(name, delta));
+}
+
+/// Sets the named gauge to `value`. No-op when tracing is disabled.
+pub fn gauge_set(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.with(|r| {
+        r.borrow_mut().insert(name, Metric::Gauge(value));
+    });
+    with_sink(|s| s.gauge(name, value));
+}
+
+/// Records `value` into the named histogram. No-op when tracing is disabled.
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        let m = reg
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Box::new(Histogram::new())));
+        if !matches!(m, Metric::Histogram(_)) {
+            *m = Metric::Histogram(Box::new(Histogram::new()));
+        }
+        if let Metric::Histogram(h) = m {
+            h.record(value);
+        }
+    });
+    with_sink(|s| s.observe(name, value));
+}
+
+/// Clears this thread's registry.
+pub fn reset() {
+    REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+/// Name-sorted copy of every metric recorded on this thread since the last
+/// [`reset`].
+pub fn snapshot() -> Vec<(&'static str, Metric)> {
+    REGISTRY.with(|r| r.borrow().iter().map(|(&k, v)| (k, v.clone())).collect())
+}
+
+/// Renders a snapshot as deterministic `name = value` lines (one per metric,
+/// name-sorted; histograms as `n=..., sum=..., min=..., max=...`).
+pub fn render(metrics: &[(&'static str, Metric)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, m) in metrics {
+        match m {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "{name} = {v}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "{name} = {v} (gauge)");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "{name} = n={}, sum={}, min={}, max={}",
+                    h.count,
+                    h.sum,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install, MemSink, NullSink};
+    use std::rc::Rc;
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        reset();
+        counter_add("x", 5);
+        gauge_set("g", 7);
+        observe("h", 9);
+        assert!(snapshot().is_empty());
+        let _g = install(Rc::new(NullSink));
+        counter_add("x", 5);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn all_three_kinds_accumulate_and_render() {
+        let sink = Rc::new(MemSink::new());
+        let _g = install(sink.clone());
+        reset();
+        counter_add("pager.evictions", 2);
+        counter_add("pager.evictions", 3);
+        gauge_set("semi.base_nodes", 40);
+        gauge_set("semi.base_nodes", 41);
+        observe("sort.run_records", 8);
+        observe("sort.run_records", 1024);
+        let snap = snapshot();
+        assert_eq!(snap[0], ("pager.evictions", Metric::Counter(5)));
+        assert_eq!(snap[1], ("semi.base_nodes", Metric::Gauge(41)));
+        match &snap[2] {
+            ("sort.run_records", Metric::Histogram(h)) => {
+                assert_eq!((h.count, h.sum, h.min, h.max), (2, 1032, 8, 1024));
+                assert_eq!(h.buckets[4], 1); // 8 has bit width 4
+                assert_eq!(h.buckets[11], 1); // 1024 has bit width 11
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let text = render(&snap);
+        assert_eq!(
+            text,
+            "pager.evictions = 5\nsemi.base_nodes = 41 (gauge)\n\
+             sort.run_records = n=2, sum=1032, min=8, max=1024\n"
+        );
+        // Counter events are also forwarded to the sink.
+        assert_eq!(sink.counters(), vec![("pager.evictions", 5)]);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Thread-local sink registration, the span stack, and the RAII [`Span`].
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::sink::Sink;
+use crate::Field;
+
+thread_local! {
+    static SINK: RefCell<Option<Rc<dyn Sink>>> = const { RefCell::new(None) };
+    /// Cached `sink.is_some() && sink.enabled()` — the one-branch fast path.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    /// Number of currently open (enabled) spans on this thread.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// True when a live (non-null) sink is installed on this thread. The check is
+/// a single thread-local read; everything observability-related is gated on
+/// it, so the disabled path costs one branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+pub(crate) fn with_sink(f: impl FnOnce(&dyn Sink)) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_deref() {
+            f(sink);
+        }
+    });
+}
+
+/// Installs `sink` as this thread's sink, returning a guard that restores the
+/// previous one on drop. Installing [`crate::NullSink`] is equivalent to
+/// having no sink: [`enabled`] stays `false` and spans are inert.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub fn install(sink: Rc<dyn Sink>) -> SinkGuard {
+    let live = sink.live();
+    let prev = SINK.with(|s| s.replace(Some(sink)));
+    let prev_enabled = ENABLED.with(|e| e.replace(live));
+    SinkGuard { prev, prev_enabled }
+}
+
+/// RAII guard returned by [`install`]; restores the previously installed sink
+/// (or none) when dropped.
+pub struct SinkGuard {
+    prev: Option<Rc<dyn Sink>>,
+    prev_enabled: bool,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        SINK.with(|s| *s.borrow_mut() = self.prev.take());
+        ENABLED.with(|e| e.set(self.prev_enabled));
+    }
+}
+
+/// An RAII tracing span. Open one with [`Span::new`] or the [`span!`] macro;
+/// close it explicitly with [`Span::close`] to attach counter deltas, or let
+/// it drop to close with none. When tracing is disabled the constructor
+/// returns an inert guard: no allocation, no sink call.
+///
+/// [`span!`]: crate::span!
+pub struct Span {
+    name: &'static str,
+    fields: Vec<Field>,
+    depth: usize,
+    active: bool,
+}
+
+impl Span {
+    /// Opens a span named `name` with the given fields. `fields` are copied
+    /// (one small allocation) only when tracing is enabled.
+    pub fn new(name: &'static str, fields: &[Field]) -> Span {
+        if !enabled() {
+            return Span {
+                name,
+                fields: Vec::new(),
+                depth: 0,
+                active: false,
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        with_sink(|s| s.span_start(name, fields, depth));
+        Span {
+            name,
+            fields: fields.to_vec(),
+            depth,
+            active: true,
+        }
+    }
+
+    /// True when this span was opened with tracing enabled (and will report
+    /// to the sink on close).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Closes the span, reporting the counter deltas it consumed and its
+    /// wall-clock duration. Renderers treat `wall_ns` as non-deterministic
+    /// and omit it unless explicitly asked (see crate docs).
+    pub fn close(mut self, counters: &[Field], wall_ns: u64) {
+        self.finish(counters, wall_ns);
+    }
+
+    fn finish(&mut self, counters: &[Field], wall_ns: u64) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        DEPTH.with(|d| d.set(d.get() - 1));
+        with_sink(|s| s.span_end(self.name, &self.fields, counters, wall_ns, self.depth));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish(&[], 0);
+    }
+}
+
+/// Opens a [`Span`]: `span!("get_v", iter = i)`. Field values are cast to
+/// `u64`; field names are the identifiers, stringified. Returns the RAII
+/// guard — bind it (`let _sp = span!(...)`) or it closes immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::Span::new($name, &[$((stringify!($k), $v as u64)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{MemSink, NullSink};
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        assert!(!enabled());
+        let sp = span!("nothing", x = 3u32);
+        assert!(!sp.is_active());
+        sp.close(&[("ios", 9)], 0);
+    }
+
+    #[test]
+    fn null_sink_keeps_tracing_disabled() {
+        let _g = install(Rc::new(NullSink));
+        assert!(!enabled());
+        assert!(!span!("still_nothing").is_active());
+    }
+
+    #[test]
+    fn install_guard_restores_previous_sink() {
+        let outer = Rc::new(MemSink::new());
+        let g1 = install(outer.clone());
+        assert!(enabled());
+        {
+            let _g2 = install(Rc::new(NullSink));
+            assert!(!enabled());
+            assert!(!span!("under_null").is_active());
+        }
+        assert!(enabled());
+        span!("under_mem").close(&[], 0);
+        drop(g1);
+        assert!(!enabled());
+        assert_eq!(outer.take().len(), 1);
+    }
+
+    #[test]
+    fn spans_nest_lifo_and_carry_fields() {
+        let sink = Rc::new(MemSink::new());
+        let _g = install(sink.clone());
+        {
+            let a = span!("a", level = 1u32);
+            {
+                let b = span!("b");
+                b.close(&[("ios", 7)], 123);
+            }
+            a.close(&[("ios", 10)], 456);
+        }
+        let roots = sink.take();
+        assert_eq!(roots.len(), 1);
+        let a = &roots[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.fields, vec![("level", 1)]);
+        assert_eq!(a.counter("ios"), Some(10));
+        assert_eq!(a.children.len(), 1);
+        assert_eq!(a.children[0].name, "b");
+        assert_eq!(a.children[0].counter("ios"), Some(7));
+    }
+
+    #[test]
+    fn dropped_span_closes_with_empty_counters() {
+        let sink = Rc::new(MemSink::new());
+        let _g = install(sink.clone());
+        {
+            let _sp = span!("dropped");
+        }
+        let roots = sink.take();
+        assert_eq!(roots[0].counters, Vec::<Field>::new());
+    }
+}

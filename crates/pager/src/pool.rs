@@ -138,6 +138,7 @@ impl PagerInner {
             fault_fire(&self.fault)?;
             self.stats.record_write();
             self.stats.record_writeback();
+            ce_obs::metrics::counter_add("pager.writebacks", 1);
             let st = file_mut(&mut self.files, id)?;
             st.backend.write_block(block_start, &self.frames[fi].data[..valid])?;
         }
@@ -198,6 +199,7 @@ impl PagerInner {
         }
         if self.frames[victim].file != NO_FILE {
             self.stats.record_eviction();
+            ce_obs::metrics::counter_add("pager.evictions", 1);
             self.map
                 .remove(&(self.frames[victim].file, self.frames[victim].block));
         }
@@ -842,6 +844,32 @@ mod tests {
             assert_eq!(buf, [9u8; 64], "block {b} lost its dirty data");
         }
         assert_eq!(p.resident_blocks(), 2, "map and frames out of sync");
+    }
+
+    #[test]
+    fn evictions_and_writebacks_reach_the_metrics_registry() {
+        use std::rc::Rc;
+        let _g = ce_obs::install(Rc::new(ce_obs::MemSink::new()));
+        ce_obs::metrics::reset();
+        // 1-frame pool: alternating dirty writes force an eviction (and a
+        // write-back of the dirty victim) on every block switch.
+        let p = mem_pager(1);
+        let f = p.create(&path("a")).unwrap();
+        for b in [0u64, 1, 0, 1] {
+            p.write_at(f, b * 64, &[7u8; 64]).unwrap();
+        }
+        let snap = ce_obs::metrics::snapshot();
+        let phys = p.phys();
+        assert_eq!(
+            snap.iter().find(|(n, _)| *n == "pager.evictions"),
+            Some(&("pager.evictions", ce_obs::metrics::Metric::Counter(phys.evictions)))
+        );
+        assert_eq!(
+            snap.iter().find(|(n, _)| *n == "pager.writebacks"),
+            Some(&("pager.writebacks", ce_obs::metrics::Metric::Counter(phys.writebacks)))
+        );
+        assert!(phys.evictions >= 3, "expected repeated evictions: {phys}");
+        ce_obs::metrics::reset();
     }
 
     #[test]

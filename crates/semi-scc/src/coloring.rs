@@ -59,6 +59,7 @@ pub fn coloring_scc(
 
     while assigned < n {
         report.rounds += 1;
+        let _sp = ce_extmem::io_span!(env, "color_round", round = report.rounds, active = n - assigned);
 
         // 1. Reset colors of active nodes.
         for (i, c) in color.iter_mut().enumerate() {

@@ -4,7 +4,7 @@
 //! scc run   --input graph.txt [--mem 64M] [--block 64K] [--baseline]
 //!           [--backend file|mem] [--cache-blocks N]
 //!           [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]
-//!           [--scratch DIR] [--stats]
+//!           [--scratch DIR] [--stats] [--trace human|json] [--trace-wall]
 //! scc plan  --input graph.txt [--mem 64M] [--block 64K]
 //!           [--engine auto|semi-scc|ext-scc|ext-scc-op]
 //! scc index build --input graph.txt --out graph.sccidx
@@ -49,6 +49,15 @@
 //! numbers reported — those count model transfers, as in the paper — but
 //! `--stats` additionally reports the *physical* transfers and the pool's
 //! hit/miss counters.
+//!
+//! `--trace human` prints the run's I/O-attribution span tree on stdout:
+//! one node per contraction iteration and per phase (Get-V, Get-E,
+//! expansion, sort passes, coloring rounds), each annotated with the
+//! logical/physical I/O it consumed, plus the metrics registry. Leaf
+//! deltas (including synthetic `(self)` rows) sum exactly to the run's
+//! total logical I/O. `--trace json` emits the same spans as JSON lines.
+//! Both are deterministic — wall-clock times appear only under
+//! `--trace-wall`. Tracing never changes the logical I/O counts.
 
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
@@ -56,7 +65,24 @@ use std::process::ExitCode;
 
 use contract_expand::graph::labels::condense_external;
 use contract_expand::prelude::*;
-use contract_expand::util::parse_size;
+use contract_expand::util::{parse_size, storage_stats};
+
+/// `--trace` output format.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceMode {
+    Human,
+    Json,
+}
+
+impl TraceMode {
+    fn parse(v: &str) -> Result<TraceMode, String> {
+        match v {
+            "human" => Ok(TraceMode::Human),
+            "json" => Ok(TraceMode::Json),
+            other => Err(format!("bad --trace {other:?}; use human|json")),
+        }
+    }
+}
 
 struct Options {
     input: PathBuf,
@@ -70,13 +96,15 @@ struct Options {
     cache_blocks: Option<usize>,
     baseline: bool,
     stats: bool,
+    trace: Option<TraceMode>,
+    trace_wall: bool,
 }
 
 fn usage() -> &'static str {
     "usage: scc run --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
      \x20              [--backend file|mem] [--cache-blocks N]\n\
      \x20              [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
-     \x20              [--scratch DIR] [--stats]\n\
+     \x20              [--scratch DIR] [--stats] [--trace human|json] [--trace-wall]\n\
      \x20      scc plan --input graph.txt|graph.ceg [--mem 64M] [--block 64K]\n\
      \x20              [--engine auto|semi-scc|ext-scc|ext-scc-op]\n\
      \x20      scc index build --input graph.txt|graph.ceg --out graph.sccidx\n\
@@ -147,6 +175,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         cache_blocks: None,
         baseline: false,
         stats: false,
+        trace: None,
+        trace_wall: false,
     };
     let mut have_input = false;
     while let Some(a) = args.next() {
@@ -177,8 +207,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--baseline" => opts.baseline = true,
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = Some(TraceMode::parse(value("--trace")?)?),
+            "--trace-wall" => opts.trace_wall = true,
             "--help" | "-h" => return Ok(None),
-            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+            other => match other.strip_prefix("--trace=") {
+                Some(v) => opts.trace = Some(TraceMode::parse(v)?),
+                None => return Err(format!("unknown argument {other:?}\n{}", usage())),
+            },
         }
     }
     if !have_input {
@@ -245,7 +280,54 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         ExtSccConfig::optimized()
     };
+
+    // `--trace` installs a sink for the engine run only, so the root `run`
+    // span covers exactly the I/O the report attributes to the run. Spans
+    // only read the existing atomic counters: the logical I/O numbers (and
+    // the default stdout/stderr output) are bit-identical with and without
+    // tracing.
+    use std::rc::Rc;
+    let mut mem_sink: Option<Rc<contract_expand::obs::MemSink>> = None;
+    let mut json_sink: Option<Rc<contract_expand::obs::JsonSink>> = None;
+    let guard = opts.trace.map(|mode| match mode {
+        TraceMode::Human => {
+            let s = Rc::new(contract_expand::obs::MemSink::new());
+            mem_sink = Some(s.clone());
+            contract_expand::obs::install(s)
+        }
+        TraceMode::Json => {
+            let s = Rc::new(if opts.trace_wall {
+                contract_expand::obs::JsonSink::with_wall()
+            } else {
+                contract_expand::obs::JsonSink::new()
+            });
+            json_sink = Some(s.clone());
+            contract_expand::obs::install(s)
+        }
+    });
+    if guard.is_some() {
+        contract_expand::obs::metrics::reset();
+    }
     let out = ExtScc::new(&env, cfg).run(&graph)?;
+    drop(guard);
+    if let Some(sink) = mem_sink {
+        let roots = sink.take();
+        print!(
+            "{}",
+            contract_expand::obs::MemSink::render_human(
+                &roots,
+                &["ios", "rand", "phys"],
+                opts.trace_wall
+            )
+        );
+        let metrics = contract_expand::obs::metrics::snapshot();
+        if !metrics.is_empty() {
+            println!("metrics:");
+            print!("{}", contract_expand::obs::metrics::render(&metrics));
+        }
+    } else if let Some(sink) = json_sink {
+        print!("{}", sink.take());
+    }
     eprintln!(
         "{} SCCs in {} contraction iterations, {} block I/Os, {:.2?}",
         out.report.n_sccs,
@@ -255,12 +337,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     );
     if opts.stats {
         eprintln!("{}", out.report);
-        eprintln!(
-            "storage: {} backend, {} cache blocks; {}",
-            env.options().backend.name(),
-            env.options().cache_blocks,
-            env.phys()
-        );
+        eprintln!("{}", storage_stats(&env));
     }
 
     // Stream labels to the output without materializing them.
@@ -440,12 +517,7 @@ fn run_index_build(args: &[String]) -> Result<ExitCode, String> {
         );
         if stats {
             eprintln!("engine I/O: {}", built.run.ios);
-            eprintln!(
-                "storage: {} backend, {} cache blocks; {}",
-                session.env().options().backend.name(),
-                session.env().options().cache_blocks,
-                session.env().phys()
-            );
+            eprintln!("{}", storage_stats(session.env()));
         }
         Ok(())
     };
@@ -512,6 +584,7 @@ fn run_index_query(args: &[String]) -> Result<ExitCode, String> {
             );
             eprintln!("open I/O: {open_ios}");
             eprintln!("query I/O: {}", env.stats().snapshot().since(&open_ios));
+            eprintln!("{}", storage_stats(&env));
         }
         Ok(())
     };

@@ -52,6 +52,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
+//! | [`obs`] | observability substrate: RAII spans, metrics registry, pluggable sinks (null / in-memory / JSON lines), zero-cost when disabled |
 //! | [`pager`] | storage substrate: pluggable block backends (file / in-memory) + counted buffer pool (LRU, pins, dirty write-back) |
 //! | [`extmem`] | I/O model: counted block files, external sort, merge joins, buffered repository tree |
 //! | [`graph`] | edge-list graphs, CSR, Tarjan/Kosaraju, workload generators, **engine planner** ([`graph::planner`]) and the **persistent [`graph::index::SccIndex`]** artifact |
@@ -71,6 +72,13 @@
 //! `DiskEnv::phys()`, and the logical numbers stay bit-for-bit identical
 //! while wall-clock and physical transfers drop.
 //!
+//! Both counter families are *attributable*: install an [`obs`] sink (what
+//! `scc run --trace human|json` does) and every contraction iteration and
+//! phase — Get-V, Get-E, expansion, sort passes, coloring rounds — closes a
+//! span carrying exactly the logical/physical I/O delta it consumed, with
+//! leaf deltas summing to the run totals. The disabled path (no sink, or
+//! [`obs::NullSink`]) costs one thread-local branch and zero allocations.
+//!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure in the paper's evaluation.
 
@@ -80,6 +88,7 @@ pub use ce_em_scc as em_scc;
 pub use ce_extmem as extmem;
 pub use ce_graph as graph;
 pub use ce_harness as harness;
+pub use ce_obs as obs;
 pub use ce_pager as pager;
 pub use ce_semi_scc as semi_scc;
 

@@ -211,6 +211,7 @@ impl SccSession {
         let run = engine_algorithm(plan.engine).run(&self.env, g)?;
         let before = self.env.stats().snapshot();
         let dag = if self.condense {
+            let _sp = ce_extmem::io_span!(&self.env, "condense", nodes = g.n_nodes());
             Some(condense_external(&self.env, g, &run.labels)?)
         } else {
             None

@@ -1,6 +1,23 @@
 //! Small shared helpers for the CLI, the examples and embedding
 //! applications.
 
+use ce_extmem::DiskEnv;
+
+/// The one-line storage/physical-counter report shared by every `--stats`
+/// flag (`scc run`, `scc index build`, `scc index query`): backend kind,
+/// buffer-pool size, physical transfers and the pool hit rate.
+///
+/// One formatter keeps the three subcommands' stats output identical in
+/// shape, so scripts can parse any of them the same way.
+pub fn storage_stats(env: &DiskEnv) -> String {
+    format!(
+        "storage: {} backend, {} cache blocks; {}",
+        env.options().backend.name(),
+        env.options().cache_blocks,
+        env.phys()
+    )
+}
+
 /// Parses a byte size with an optional binary suffix: `"64"`, `"64K"`,
 /// `"64M"`, `"4G"` (suffixes are case-insensitive, powers of 1024).
 ///
@@ -46,6 +63,18 @@ mod tests {
         assert_eq!(parse_size("2k"), Ok(2048));
         assert_eq!(parse_size("64M"), Ok(64 << 20));
         assert_eq!(parse_size("1G"), Ok(1 << 30));
+    }
+
+    #[test]
+    fn storage_stats_reports_backend_pool_and_hit_rate() {
+        use ce_extmem::{DiskEnv, EnvOptions, IoConfig};
+        let cfg = IoConfig::new(256, 4 << 10);
+        let env = DiskEnv::new_temp_with(cfg, EnvOptions::pooled(&cfg)).unwrap();
+        let line = storage_stats(&env);
+        assert!(line.starts_with("storage: "), "{line}");
+        assert!(line.contains("backend"), "{line}");
+        assert!(line.contains("cache blocks"), "{line}");
+        assert!(line.contains("hit rate"), "{line}");
     }
 
     #[test]

@@ -277,6 +277,11 @@ fn index_build_then_query_answers_without_recomputing() {
     let stderr = String::from_utf8_lossy(&query.stderr);
     assert!(stderr.contains("query I/O: "), "--stats must report logical query I/O: {stderr}");
     assert!(stderr.contains("open I/O: "), "{stderr}");
+    // The storage line shared with `scc run --stats`: physical counters
+    // plus the pool hit rate.
+    assert!(stderr.contains("storage: "), "{stderr}");
+    assert!(stderr.contains("physical transfers"), "{stderr}");
+    assert!(stderr.contains("hit rate"), "{stderr}");
 
     let cross = scc_bin()
         .args(["index", "query", "--index"])
@@ -501,6 +506,21 @@ fn bad_backend_and_cache_flags_are_rejected() {
     let r = scc_bin().args(["--input", "g.txt", "--backend"]).output().unwrap();
     assert_eq!(r.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&r.stderr).contains("requires a value"));
+}
+
+#[test]
+fn trace_rejects_bad_modes() {
+    for args in [
+        vec!["run", "--input", "g.txt", "--trace", "xml"],
+        vec!["run", "--input", "g.txt", "--trace=xml"],
+    ] {
+        let r = scc_bin().args(&args).output().unwrap();
+        assert_eq!(r.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&r.stderr).contains("human|json"),
+            "{args:?}"
+        );
+    }
 }
 
 #[test]

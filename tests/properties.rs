@@ -174,6 +174,37 @@ proptest! {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// Observability is free: running Ext-SCC with tracing enabled (an
+    /// in-memory span sink) and with the disabled-path [`NullSink`]
+    /// installed yields bit-identical logical `IoSnapshot`s and identical
+    /// partitions on any multigraph. Spans only *read* the counters.
+    #[test]
+    fn tracing_is_io_transparent((n, edge_list) in arb_graph()) {
+        use std::rc::Rc;
+        use contract_expand::obs;
+
+        let mut outputs = Vec::new();
+        for traced in [false, true] {
+            let env = tiny_env();
+            let g = EdgeListGraph::from_slice(&env, n as u64, &edge_list).unwrap();
+            let sink: Rc<dyn obs::Sink> = if traced {
+                Rc::new(obs::MemSink::new())
+            } else {
+                Rc::new(obs::NullSink)
+            };
+            let guard = obs::install(sink);
+            let out = ExtScc::new(&env, ExtSccConfig::optimized()).run(&g).unwrap();
+            drop(guard);
+            let lab = SccLabeling::from_file(&out.labels, n as u64).unwrap();
+            outputs.push((out.report.total_ios, out.report.n_sccs, lab.rep));
+        }
+        let (null_ios, null_sccs, null_rep) = &outputs[0];
+        let (mem_ios, mem_sccs, mem_rep) = &outputs[1];
+        prop_assert_eq!(null_ios, mem_ios, "logical I/O must be sink-independent");
+        prop_assert_eq!(null_sccs, mem_sccs);
+        prop_assert!(same_partition(null_rep, mem_rep));
+    }
+
     /// BRT behaves like a multimap under insert/extract/retire.
     #[test]
     fn brt_model(ops in prop::collection::vec((0u8..3, 0u32..16, any::<u32>()), 1..300)) {
