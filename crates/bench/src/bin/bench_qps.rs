@@ -1,0 +1,240 @@
+//! Query-throughput emitter for the concurrent read path: builds one
+//! smoke-scale index, fans deterministic point-query workloads across
+//! cloned [`SccIndexReader`] handles, and writes the thread × cache QPS
+//! grid to `BENCH_<tag>.json`.
+//!
+//! The grid is {1, 4} serving threads × {cold, warm} pool state:
+//!
+//! * **cold** — every repetition opens a fresh reader, so the shared pool
+//!   starts empty and the cell pays its physical misses;
+//! * **warm** — one reader is opened, primed by the discarded warmup
+//!   pass, and reused across repetitions: steady-state serving, zero
+//!   physical reads.
+//!
+//! Per-query *logical* I/O is deterministic (one block read per point
+//! query); only wall time is noisy, so each cell runs one discarded
+//! warmup pass and `--reps` measured repetitions, reporting the
+//! **median** QPS. The header records `host_cpus`
+//! (`std::thread::available_parallelism`) because multi-thread scaling is
+//! a property of the host, not the code: the committed trajectory file
+//! from a 1-CPU container legitimately shows no 4-thread speedup, and
+//! consumers (the `tests/qps_gate.rs` gate, CI's `--check-scaling`) gate
+//! their scaling assertions on that recorded value.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin bench_qps -- --tag qps [--out DIR]
+//!     [--reps K] [--nodes N] [--queries K] [--cache-blocks N]
+//!     [--check-scaling X]
+//! ```
+//!
+//! `--check-scaling X` exits non-zero if warm 4-thread QPS is below
+//! `X ×` warm 1-thread QPS — skipped (with a note) when the host has
+//! fewer than 4 CPUs, where the ratio measures the scheduler, not the
+//! read path.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use ce_extmem::{DiskEnv, IoConfig};
+use ce_graph::{SccIndex, SccIndexReader};
+
+/// The logical block size the index is built and served with. 4 KiB keeps
+/// the label section at a few dozen pages for the default `--nodes`, so
+/// both the cold misses and the warm hit path are exercised.
+const BLOCK: usize = 4096;
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+const USAGE: &str = "usage: bench_qps --tag <tag> [--out <dir>] [--reps <k>] [--nodes <n>]\n\
+       [--queries <k>] [--cache-blocks <n>] [--check-scaling <x>]";
+
+/// Block size of the filesystem holding `dir` — context for interpreting
+/// the wall-clock numbers, same as `bench_json`'s header.
+fn host_block_size(dir: &str) -> u64 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        if let Ok(md) = std::fs::metadata(dir) {
+            return md.blksize();
+        }
+    }
+    let _ = dir;
+    4096
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Runs `queries` point lookups split evenly across `threads` cloned
+/// handles and returns the wall time. Thread `t` derives its node stream
+/// from `seed ^ (GOLDEN + t)`, so a (threads, seed) pair fully determines
+/// the workload — reps are identical by construction.
+fn run_cell(reader: &SccIndexReader, threads: usize, queries: u64, seed: u64) -> Duration {
+    let n_nodes = u32::try_from(reader.n_nodes()).unwrap_or(u32::MAX);
+    let per = queries.div_ceil(threads as u64);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let handle = reader.clone();
+            s.spawn(move || {
+                let mine = per.min(queries.saturating_sub(t * per));
+                let mut x = seed ^ (0x9e37_79b9_7f4a_7c15 + t);
+                for _ in 0..mine {
+                    let u = (xorshift(&mut x) % n_nodes as u64) as u32;
+                    handle.component_of(u).expect("point query failed");
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn main() -> std::io::Result<()> {
+    let mut tag = String::new();
+    let mut out_dir = String::from(".");
+    let mut reps = 3usize;
+    let mut nodes = 60_000u32;
+    let mut queries = 40_000u64;
+    let mut cache_blocks = 256usize;
+    let mut check_scaling: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| {
+            args.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--tag" => tag = args.next().unwrap_or_default(),
+            "--out" => out_dir = args.next().unwrap_or_default(),
+            "--reps" => reps = (num("--reps") as usize).max(1),
+            "--nodes" => nodes = (num("--nodes") as u32).max(16),
+            "--queries" => queries = (num("--queries") as u64).max(1),
+            "--cache-blocks" => cache_blocks = num("--cache-blocks") as usize,
+            "--check-scaling" => check_scaling = Some(num("--check-scaling")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if tag.is_empty() || out_dir.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+
+    // One index serves every cell: build it once in a scratch env that
+    // lives for the whole run.
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 16 << 20))?;
+    let path = env.root().join("qps.sccidx");
+    let reps_built = ce_harness::build_query_index(&env, &path, nodes, 42)?;
+    println!(
+        "index: {nodes} nodes, {} components, block {BLOCK} B, pool {cache_blocks} blocks",
+        reps_built.iter().collect::<std::collections::HashSet<_>>().len()
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"tag\": \"{}\",", json_escape(&tag)).unwrap();
+    writeln!(json, "  \"kind\": \"qps\",").unwrap();
+    writeln!(json, "  \"block_size\": {BLOCK},").unwrap();
+    writeln!(json, "  \"host_block_size\": {},", host_block_size(&out_dir)).unwrap();
+    writeln!(json, "  \"host_cpus\": {host_cpus},").unwrap();
+    writeln!(json, "  \"n_nodes\": {nodes},").unwrap();
+    writeln!(json, "  \"n_queries\": {queries},").unwrap();
+    writeln!(json, "  \"cache_blocks\": {cache_blocks},").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
+    writeln!(json, "  \"cells\": [").unwrap();
+
+    let grid: Vec<(usize, &str)> =
+        vec![(1, "cold"), (1, "warm"), (4, "cold"), (4, "warm")];
+    let mut warm_qps = std::collections::HashMap::<usize, f64>::new();
+    for (ci, &(threads, cache)) in grid.iter().enumerate() {
+        // Warm cells share one pre-primed reader; cold cells reopen per
+        // repetition so the pool starts empty every time. The warmup pass
+        // is discarded either way.
+        let shared = SccIndex::open_shared(&path, cache_blocks)?;
+        run_cell(&shared, threads, queries, 42);
+        let mut walls = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let wall = if cache == "warm" {
+                run_cell(&shared, threads, queries, 42)
+            } else {
+                let fresh = SccIndex::open_shared(&path, cache_blocks)?;
+                run_cell(&fresh, threads, queries, 42)
+            };
+            walls.push(wall);
+        }
+        walls.sort();
+        let wall = walls[walls.len() / 2];
+        let qps = queries as f64 / wall.as_secs_f64().max(1e-9);
+        if cache == "warm" {
+            warm_qps.insert(threads, qps);
+        }
+        println!(
+            "  {threads} thread(s), {cache:<4}  {qps:>12.0} qps  ({:>8.2?} median wall)",
+            wall
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"threads\": {threads},").unwrap();
+        writeln!(json, "      \"cache\": \"{cache}\",").unwrap();
+        writeln!(json, "      \"qps\": {qps:.1},").unwrap();
+        writeln!(json, "      \"wall_ms\": {:.3}", wall.as_secs_f64() * 1e3).unwrap();
+        write!(json, "    }}").unwrap();
+        writeln!(json, "{}", if ci + 1 < grid.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::create_dir_all(&out_dir)?;
+    let out = std::path::Path::new(&out_dir).join(format!("BENCH_{tag}.json"));
+    let mut f = std::fs::File::create(&out)?;
+    f.write_all(json.as_bytes())?;
+    println!("wrote {}", out.display());
+
+    if let Some(factor) = check_scaling {
+        let (one, four) = (warm_qps[&1], warm_qps[&4]);
+        if host_cpus < 4 {
+            println!(
+                "scaling check skipped: host has {host_cpus} CPU(s); \
+                 4-thread/1-thread warm ratio {:.2}x is a scheduler artifact",
+                four / one
+            );
+        } else if four < factor * one {
+            eprintln!(
+                "SCALING VIOLATION: warm 4-thread {four:.0} qps < \
+                 {factor}x warm 1-thread {one:.0} qps"
+            );
+            std::process::exit(1);
+        } else {
+            println!(
+                "scaling ok: warm 4-thread {four:.0} qps >= {factor}x \
+                 warm 1-thread {one:.0} qps ({:.2}x)",
+                four / one
+            );
+        }
+    }
+    Ok(())
+}

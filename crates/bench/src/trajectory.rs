@@ -123,6 +123,67 @@ pub fn compare_wall(
     violations
 }
 
+/// One threads × cache throughput measurement from a `bench_qps` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpsCell {
+    /// Serving threads the cell ran with.
+    pub threads: u64,
+    /// Pool state: `cold` (fresh reader per repetition) or `warm`.
+    pub cache: String,
+    /// Median queries per second.
+    pub qps: f64,
+    /// Median wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl QpsCell {
+    /// `threads/cache`, the key cells are matched on.
+    pub fn key(&self) -> String {
+        format!("{}t/{}", self.threads, self.cache)
+    }
+}
+
+/// Extracts the `host_cpus` header a `bench_qps` file records — the value
+/// scaling assertions must be gated on, since a trajectory file committed
+/// from a 1-CPU container legitimately shows no multi-thread speedup.
+pub fn parse_host_cpus(json: &str) -> Option<u64> {
+    json.lines()
+        .map(str::trim_start)
+        .find(|t| t.starts_with("\"host_cpus\""))
+        .and_then(num_field)
+        .map(|v| v as u64)
+}
+
+/// Extracts every threads × cache cell from a `bench_qps`-shaped file.
+/// Same line-oriented contract as [`parse_cells`]: unknown lines are
+/// skipped, a cell is closed by its `wall_ms` line.
+pub fn parse_qps_cells(json: &str) -> Vec<QpsCell> {
+    let mut cells = Vec::new();
+    let mut threads = 0u64;
+    let mut cache = String::new();
+    let mut qps = f64::NAN;
+    for line in json.lines() {
+        let t = line.trim_start();
+        if t.starts_with("\"threads\"") {
+            threads = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"cache\":") {
+            cache = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"qps\"") {
+            qps = num_field(t).unwrap_or(f64::NAN);
+        } else if t.starts_with("\"wall_ms\"") && threads > 0 {
+            cells.push(QpsCell {
+                threads,
+                cache: std::mem::take(&mut cache),
+                qps,
+                wall_ms: num_field(t).unwrap_or(f64::NAN),
+            });
+            threads = 0;
+            qps = f64::NAN;
+        }
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +260,47 @@ mod tests {
 
         let v = compare_wall(&base, &cand[1..], 3.0);
         assert!(v[0].contains("missing"), "{v:?}");
+    }
+
+    const QPS_SAMPLE: &str = r#"{
+  "tag": "pr8",
+  "kind": "qps",
+  "block_size": 4096,
+  "host_cpus": 4,
+  "cache_blocks": 256,
+  "cells": [
+    {
+      "threads": 1,
+      "cache": "warm",
+      "qps": 100000.5,
+      "wall_ms": 400.000
+    },
+    {
+      "threads": 4,
+      "cache": "warm",
+      "qps": 250000.0,
+      "wall_ms": 160.000
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_qps_cells_and_host_cpus() {
+        assert_eq!(parse_host_cpus(QPS_SAMPLE), Some(4));
+        let cells = parse_qps_cells(QPS_SAMPLE);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key(), "1t/warm");
+        assert_eq!(cells[0].qps, 100000.5);
+        assert_eq!(cells[1].threads, 4);
+        assert_eq!(cells[1].wall_ms, 160.0);
+        // `cache_blocks` in the header must not bleed into a cell's cache.
+        assert!(cells.iter().all(|c| c.cache == "warm"));
+    }
+
+    #[test]
+    fn qps_parser_ignores_engine_trajectory_files() {
+        assert!(parse_qps_cells(SAMPLE).is_empty());
+        assert_eq!(parse_host_cpus(SAMPLE), None);
     }
 }

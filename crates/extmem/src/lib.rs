@@ -69,6 +69,7 @@ pub mod env;
 pub mod file;
 pub mod join;
 pub mod record;
+pub mod shared;
 pub mod sort;
 pub mod sorted;
 pub mod stats;
@@ -87,6 +88,7 @@ pub use join::{
     lookup_join_stream, merge_union, merge_union_stream, semi_join, semi_join_stream, GroupCursor,
 };
 pub use record::Record;
+pub use shared::SharedFile;
 pub use sort::{
     dedup_sorted, is_sorted_by_key, sort_by_key, sort_dedup_by_key, sort_dedup_streaming_by_key,
     sort_streaming_by_key, MergeStream, SortedRuns,

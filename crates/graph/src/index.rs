@@ -17,8 +17,24 @@
 //! built it and reopens in `O(1)` memory: [`SccIndex::open`] reads the
 //! header and streams a checksum pass, after which every query touches a
 //! bounded number of blocks — [`component_of`](SccIndex::component_of) one,
-//! [`same_component`](SccIndex::same_component) two,
-//! [`component_size`](SccIndex::component_size) `O(log n_sccs)`.
+//! [`same_component`](SccIndex::same_component) at most two (zero when
+//! `u == v`, one when both labels share a page),
+//! [`component_size`](SccIndex::component_size) `O(log n_sccs)`, and the
+//! batched [`component_of_many`](SccIndex::component_of_many) one read per
+//! *distinct* label page in the batch.
+//!
+//! ## Concurrent reads
+//!
+//! [`SccIndex`] owns its environment's pager and takes `&mut self` — one
+//! reader. [`SccIndexReader`] ([`SccIndex::open_shared`]) is the serving
+//! handle: cloneable, `Send + Sync`, queries take `&self`, and all clones
+//! share one read-only `SharedPager` block pool (via
+//! [`ce_extmem::SharedFile`]) so a hot label page faulted by
+//! one thread is a cache hit for every other.
+//! Logical I/O stays per-handle (fresh counters per clone), so a query's
+//! [`IoSnapshot`](ce_extmem::IoSnapshot) is bit-identical to the owned
+//! path no matter how many readers run concurrently — both handles answer
+//! through the same query and validation code over one block-read seam.
 //!
 //! ## On-disk layout (version 1, all integers little-endian)
 //!
@@ -43,7 +59,7 @@ use std::io;
 use std::path::Path;
 
 use ce_extmem::file::CountedFile;
-use ce_extmem::{sort_streaming_by_key, DiskEnv, ExtFile, SortedStream};
+use ce_extmem::{sort_streaming_by_key, DiskEnv, ExtFile, SharedFile, SortedStream};
 
 use crate::types::{Edge, NodeId, SccLabel};
 
@@ -55,6 +71,10 @@ const VERSION: u32 = 1;
 const HEADER_LEN: usize = 80;
 /// Bytes per entry of the component-size table.
 const SIZE_ENTRY: u64 = 16;
+/// Geometry sanity bounds enforced at open (see [`open_checked`]).
+const MAX_PAGE: u64 = 1 << 31;
+const MAX_NODES: u64 = (u32::MAX as u64) + 1;
+const MAX_DAG_EDGES: u64 = 1 << 40;
 
 /// FNV-1a 64-bit, the workspace's dependency-free checksum.
 #[derive(Clone, Copy)]
@@ -210,6 +230,196 @@ impl<'a> SectionWriter<'a> {
     }
 }
 
+/// The block-read seam both index handles answer through: the owned
+/// [`SccIndex`] reads via its environment's [`CountedFile`], the concurrent
+/// [`SccIndexReader`] via a [`SharedFile`] clone. Everything above this
+/// trait — open-time validation, every query — is written once against it,
+/// so the two paths cannot drift in answers *or* in logical I/O pricing.
+trait IndexIo {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+    fn len_bytes(&self) -> io::Result<u64>;
+}
+
+impl IndexIo for CountedFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        CountedFile::read_at(self, offset, buf)
+    }
+
+    fn len_bytes(&self) -> io::Result<u64> {
+        CountedFile::len_bytes(self)
+    }
+}
+
+/// Adapter giving a `&SharedFile` the `&mut`-shaped seam (its reads are
+/// interior-mutable already).
+struct SharedIo<'a>(&'a SharedFile);
+
+impl IndexIo for SharedIo<'_> {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read_at(offset, buf)
+    }
+
+    fn len_bytes(&self) -> io::Result<u64> {
+        Ok(self.0.len_bytes())
+    }
+}
+
+/// Reads exactly `buf.len()` bytes at `offset` or fails with a truncation
+/// error naming `what`.
+fn read_exact_at(io: &mut dyn IndexIo, offset: u64, buf: &mut [u8], what: &str) -> io::Result<()> {
+    if io.read_at(offset, buf)? != buf.len() {
+        return Err(bad(&format!("{what} truncated")));
+    }
+    Ok(())
+}
+
+/// Reads the header and validates magic, version, geometry and the payload
+/// checksum — the whole open-time protocol, shared verbatim by
+/// [`SccIndex::open`] and [`SccIndex::open_shared`] so both handles reject
+/// exactly the same corruptions at exactly the same logical I/O cost.
+fn open_checked(io: &mut dyn IndexIo) -> io::Result<Header> {
+    let mut buf = [0u8; HEADER_LEN];
+    if io.read_at(0, &mut buf)? != HEADER_LEN {
+        return Err(bad("file too short for a header"));
+    }
+    let hdr = Header::decode(&buf)?;
+    let page = hdr.page_size;
+    // Bound every header count before any arithmetic on it: the header
+    // checksum is unkeyed, so a hostile file can carry any bytes — the
+    // geometry math below must not overflow (panic in debug, wrap in
+    // release) on fields like `n_nodes = 2^62`. Within these bounds all
+    // section arithmetic stays far below u64::MAX.
+    if page == 0
+        || page > MAX_PAGE
+        || hdr.n_nodes > MAX_NODES
+        || hdr.n_sccs > hdr.n_nodes
+        || hdr.n_dag_edges > MAX_DAG_EDGES
+    {
+        return Err(bad("implausible header geometry"));
+    }
+    if hdr.labels_off != align_up(HEADER_LEN as u64, page)
+        || hdr.sizes_off != align_up(hdr.labels_off + 4 * hdr.n_nodes, page)
+        || (hdr.dag_off != 0
+            && hdr.dag_off != align_up(hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs, page))
+    {
+        return Err(bad("inconsistent section geometry"));
+    }
+    let want_len = hdr.file_len();
+    if io.len_bytes()? != want_len {
+        return Err(bad(&format!(
+            "file is {} bytes, header implies {want_len}",
+            io.len_bytes()?
+        )));
+    }
+    let mut fnv = Fnv::new();
+    let mut chunk = vec![0u8; page as usize];
+    let mut at = hdr.labels_off;
+    while at < want_len {
+        let take = ((want_len - at) as usize).min(chunk.len());
+        read_exact_at(io, at, &mut chunk[..take], "payload")?;
+        fnv.update(&chunk[..take]);
+        at += take as u64;
+    }
+    if fnv.finish() != hdr.payload_fnv {
+        return Err(bad("payload checksum mismatch"));
+    }
+    Ok(hdr)
+}
+
+fn check_node(hdr: &Header, u: NodeId) -> io::Result<()> {
+    if u as u64 >= hdr.n_nodes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("node {u} out of range (index covers {} nodes)", hdr.n_nodes),
+        ));
+    }
+    Ok(())
+}
+
+/// `component_of`: one 4-byte read, one logical block.
+fn lookup_rep(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<NodeId> {
+    check_node(hdr, u)?;
+    let mut buf = [0u8; 4];
+    read_exact_at(io, hdr.labels_off + 4 * u as u64, &mut buf, "labels section")?;
+    Ok(NodeId::from_le_bytes(buf))
+}
+
+/// Label page (block of the labels section) holding node `u`'s entry.
+fn label_page(hdr: &Header, u: NodeId) -> u64 {
+    (4 * u as u64) / hdr.page_size
+}
+
+/// `same_component`: zero reads for `u == v`, one page read when both
+/// labels live on the same page, two 4-byte reads otherwise.
+fn lookup_same(io: &mut dyn IndexIo, hdr: &Header, u: NodeId, v: NodeId) -> io::Result<bool> {
+    check_node(hdr, u)?;
+    if u == v {
+        return Ok(true);
+    }
+    check_node(hdr, v)?;
+    if label_page(hdr, u) == label_page(hdr, v) {
+        let mut page = vec![0u8; hdr.page_size as usize];
+        let off = hdr.labels_off + label_page(hdr, u) * hdr.page_size;
+        read_exact_at(io, off, &mut page, "labels section")?;
+        let slot = |x: NodeId| ((4 * x as u64) % hdr.page_size) as usize;
+        let rep = |at: usize| NodeId::from_le_bytes(page[at..at + 4].try_into().unwrap());
+        return Ok(rep(slot(u)) == rep(slot(v)));
+    }
+    Ok(lookup_rep(io, hdr, u)? == lookup_rep(io, hdr, v)?)
+}
+
+/// Batched `component_of`: bounds-checks everything up front (no I/O is
+/// spent on a batch that fails), then answers in ascending node order so
+/// the `k` queries that land on one label page cost exactly one page read.
+/// Results come back in input order.
+fn lookup_many(io: &mut dyn IndexIo, hdr: &Header, nodes: &[NodeId]) -> io::Result<Vec<NodeId>> {
+    for &u in nodes {
+        check_node(hdr, u)?;
+    }
+    let mut order: Vec<u32> = (0..nodes.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| nodes[i as usize]);
+    let mut out = vec![0 as NodeId; nodes.len()];
+    let mut page = vec![0u8; hdr.page_size as usize];
+    let mut loaded = u64::MAX;
+    for &i in &order {
+        let u = nodes[i as usize];
+        let p = label_page(hdr, u);
+        if p != loaded {
+            read_exact_at(io, hdr.labels_off + p * hdr.page_size, &mut page, "labels section")?;
+            loaded = p;
+        }
+        let at = ((4 * u as u64) % hdr.page_size) as usize;
+        out[i as usize] = NodeId::from_le_bytes(page[at..at + 4].try_into().unwrap());
+    }
+    Ok(out)
+}
+
+fn read_size_entry(io: &mut dyn IndexIo, hdr: &Header, i: u64) -> io::Result<(NodeId, u64)> {
+    let mut buf = [0u8; SIZE_ENTRY as usize];
+    read_exact_at(io, hdr.sizes_off + SIZE_ENTRY * i, &mut buf, "size table")?;
+    Ok((
+        NodeId::from_le_bytes(buf[0..4].try_into().unwrap()),
+        u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+    ))
+}
+
+/// `component_size`: one label read plus an `O(log n_sccs)` binary search
+/// over the on-disk size table.
+fn lookup_size(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<u64> {
+    let rep = lookup_rep(io, hdr, u)?;
+    let (mut lo, mut hi) = (0u64, hdr.n_sccs);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let (r, size) = read_size_entry(io, hdr, mid)?;
+        match r.cmp(&rep) {
+            std::cmp::Ordering::Equal => return Ok(size),
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    Err(bad(&format!("representative {rep} missing from the size table")))
+}
+
 /// A reopened SCC index. See the module docs for the format and the I/O
 /// cost of each query; all queries are counted in the owning environment's
 /// logical [`IoStats`](ce_extmem::IoStats).
@@ -354,57 +564,23 @@ impl SccIndex {
     pub fn open(env: &DiskEnv, path: &Path) -> io::Result<SccIndex> {
         let _sp = ce_extmem::io_span!(env, "index_open");
         let mut file = CountedFile::open_read(env, path)?;
-        let mut buf = [0u8; HEADER_LEN];
-        if file.read_at(0, &mut buf)? != HEADER_LEN {
-            return Err(bad("file too short for a header"));
-        }
-        let hdr = Header::decode(&buf)?;
-        let page = hdr.page_size;
-        // Bound every header count before any arithmetic on it: the header
-        // checksum is unkeyed, so a hostile file can carry any bytes — the
-        // geometry math below must not overflow (panic in debug, wrap in
-        // release) on fields like `n_nodes = 2^62`. Within these bounds all
-        // section arithmetic stays far below u64::MAX.
-        const MAX_PAGE: u64 = 1 << 31;
-        const MAX_NODES: u64 = (u32::MAX as u64) + 1;
-        const MAX_DAG_EDGES: u64 = 1 << 40;
-        if page == 0
-            || page > MAX_PAGE
-            || hdr.n_nodes > MAX_NODES
-            || hdr.n_sccs > hdr.n_nodes
-            || hdr.n_dag_edges > MAX_DAG_EDGES
-        {
-            return Err(bad("implausible header geometry"));
-        }
-        if hdr.labels_off != align_up(HEADER_LEN as u64, page)
-            || hdr.sizes_off != align_up(hdr.labels_off + 4 * hdr.n_nodes, page)
-            || (hdr.dag_off != 0
-                && hdr.dag_off != align_up(hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs, page))
-        {
-            return Err(bad("inconsistent section geometry"));
-        }
-        let want_len = hdr.file_len();
-        if file.len_bytes()? != want_len {
-            return Err(bad(&format!(
-                "file is {} bytes, header implies {want_len}",
-                file.len_bytes()?
-            )));
-        }
-        let mut fnv = Fnv::new();
-        let mut chunk = vec![0u8; page as usize];
-        let mut at = hdr.labels_off;
-        while at < want_len {
-            let take = ((want_len - at) as usize).min(chunk.len());
-            if file.read_at(at, &mut chunk[..take])? != take {
-                return Err(bad("payload truncated mid-scan"));
-            }
-            fnv.update(&chunk[..take]);
-            at += take as u64;
-        }
-        if fnv.finish() != hdr.payload_fnv {
-            return Err(bad("payload checksum mismatch"));
-        }
+        let hdr = open_checked(&mut file)?;
         Ok(SccIndex { file, hdr })
+    }
+
+    /// Opens the artifact for **concurrent** reads: returns a cloneable
+    /// [`SccIndexReader`] whose queries take `&self` and whose clones share
+    /// one read-only block pool of `cache_blocks` frames (0 = no caching).
+    /// Performs the same validation protocol as [`SccIndex::open`] — header,
+    /// geometry, full payload checksum — at the same logical I/O cost,
+    /// counted in the reader's own per-handle stats.
+    ///
+    /// The reader is independent of any [`DiskEnv`]: it prices its logical
+    /// I/O in per-handle counters ([`SccIndexReader::stats`]) instead of an
+    /// environment's, which is what keeps per-query costs deterministic
+    /// under concurrency.
+    pub fn open_shared(path: &Path, cache_blocks: usize) -> io::Result<SccIndexReader> {
+        SccIndexReader::open(path, cache_blocks)
     }
 
     /// Number of nodes the index covers (the universe `0..n_nodes`).
@@ -439,53 +615,28 @@ impl SccIndex {
 
     /// The representative of `u`'s component — one block read.
     pub fn component_of(&mut self, u: NodeId) -> io::Result<NodeId> {
-        if u as u64 >= self.hdr.n_nodes {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("node {u} out of range (index covers {} nodes)", self.hdr.n_nodes),
-            ));
-        }
-        let mut buf = [0u8; 4];
-        let off = self.hdr.labels_off + 4 * u as u64;
-        if self.file.read_at(off, &mut buf)? != 4 {
-            return Err(bad("labels section truncated"));
-        }
-        Ok(NodeId::from_le_bytes(buf))
+        lookup_rep(&mut self.file, &self.hdr, u)
     }
 
-    /// True iff `u` and `v` are strongly connected — two block reads,
-    /// no recomputation.
+    /// Representatives for a whole batch, in input order — one block read
+    /// per **distinct** label page the batch touches (the batch is answered
+    /// in ascending node order so same-page probes coalesce). Everything is
+    /// bounds-checked before any I/O is spent.
+    pub fn component_of_many(&mut self, nodes: &[NodeId]) -> io::Result<Vec<NodeId>> {
+        lookup_many(&mut self.file, &self.hdr, nodes)
+    }
+
+    /// True iff `u` and `v` are strongly connected — at most two block
+    /// reads, no recomputation: zero reads when `u == v` (one bounds
+    /// check answers it), one when both labels live on the same page.
     pub fn same_component(&mut self, u: NodeId, v: NodeId) -> io::Result<bool> {
-        Ok(self.component_of(u)? == self.component_of(v)?)
+        lookup_same(&mut self.file, &self.hdr, u, v)
     }
 
     /// Size of `u`'s component — one block read plus an `O(log n_sccs)`
     /// binary search over the on-disk size table.
     pub fn component_size(&mut self, u: NodeId) -> io::Result<u64> {
-        let rep = self.component_of(u)?;
-        let (mut lo, mut hi) = (0u64, self.hdr.n_sccs);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            let (r, size) = self.size_entry(mid)?;
-            match r.cmp(&rep) {
-                std::cmp::Ordering::Equal => return Ok(size),
-                std::cmp::Ordering::Less => lo = mid + 1,
-                std::cmp::Ordering::Greater => hi = mid,
-            }
-        }
-        Err(bad(&format!("representative {rep} missing from the size table")))
-    }
-
-    fn size_entry(&mut self, i: u64) -> io::Result<(NodeId, u64)> {
-        let mut buf = [0u8; SIZE_ENTRY as usize];
-        let off = self.hdr.sizes_off + SIZE_ENTRY * i;
-        if self.file.read_at(off, &mut buf)? != buf.len() {
-            return Err(bad("size table truncated"));
-        }
-        Ok((
-            NodeId::from_le_bytes(buf[0..4].try_into().unwrap()),
-            u64::from_le_bytes(buf[8..16].try_into().unwrap()),
-        ))
+        lookup_size(&mut self.file, &self.hdr, u)
     }
 
     /// Streams `(representative, size)` for every component, ascending by
@@ -505,6 +656,131 @@ impl SccIndex {
         DagEdgesIter {
             cursor: SectionCursor::new(self, start, 8, if start == 0 { 0 } else { total }),
         }
+    }
+}
+
+/// The concurrent query handle over one open artifact — the serving
+/// counterpart of [`SccIndex`]. Obtained from [`SccIndex::open_shared`];
+/// `Send + Sync`, queries take `&self`.
+///
+/// Cloning is the unit of concurrency: every clone shares the same
+/// read-only block pool (one hot page, cached once, hit by all threads;
+/// physical counters aggregated atomically, [`SccIndexReader::phys`]) but
+/// carries **fresh per-handle logical counters and sequential/random
+/// cursor** ([`SccIndexReader::stats`]), so per-query logical I/O is
+/// bit-identical to the owned [`SccIndex`] path regardless of what other
+/// readers are doing. Hand one clone to each worker thread.
+#[derive(Clone)]
+pub struct SccIndexReader {
+    file: SharedFile,
+    hdr: Header,
+}
+
+impl std::fmt::Debug for SccIndexReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SccIndexReader")
+            .field("n_nodes", &self.hdr.n_nodes)
+            .field("n_sccs", &self.hdr.n_sccs)
+            .field("n_dag_edges", &self.hdr.n_dag_edges)
+            .field("page_size", &self.hdr.page_size)
+            .finish()
+    }
+}
+
+impl SccIndexReader {
+    /// See [`SccIndex::open_shared`].
+    fn open(path: &Path, cache_blocks: usize) -> io::Result<SccIndexReader> {
+        // Sniff the page size with one raw, *uncounted* header peek: the
+        // shared pool's block size must equal the artifact's page size
+        // before the first counted read, or the logical pricing would
+        // diverge from the owned path (whose environment knows the block
+        // size a priori).
+        let mut raw = [0u8; HEADER_LEN];
+        {
+            use std::io::Read as _;
+            let mut f = std::fs::File::open(path)?;
+            let mut done = 0;
+            while done < HEADER_LEN {
+                match f.read(&mut raw[done..]) {
+                    Ok(0) => return Err(bad("file too short for a header")),
+                    Ok(k) => done += k,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let page = Header::decode(&raw)?.page_size;
+        if page == 0 || page > MAX_PAGE {
+            return Err(bad("implausible header geometry"));
+        }
+        let file = SharedFile::open(path, page as usize, cache_blocks)?;
+        let mut io = SharedIo(&file);
+        let hdr = open_checked(&mut io)?;
+        Ok(SccIndexReader { file, hdr })
+    }
+
+    /// Number of nodes the index covers (the universe `0..n_nodes`).
+    pub fn n_nodes(&self) -> u64 {
+        self.hdr.n_nodes
+    }
+
+    /// Number of distinct strongly connected components.
+    pub fn n_sccs(&self) -> u64 {
+        self.hdr.n_sccs
+    }
+
+    /// True if the artifact embeds the condensation DAG.
+    pub fn has_condensation(&self) -> bool {
+        self.hdr.dag_off != 0
+    }
+
+    /// Number of condensation edges stored (0 when absent).
+    pub fn n_dag_edges(&self) -> u64 {
+        self.hdr.n_dag_edges
+    }
+
+    /// Page size the artifact was built with (the builder's block size).
+    pub fn page_size(&self) -> u64 {
+        self.hdr.page_size
+    }
+
+    /// Total artifact size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.hdr.file_len()
+    }
+
+    /// This handle's logical I/O counters (zeroed at open/clone) — diff
+    /// snapshots around a query for its exact model cost.
+    pub fn stats(&self) -> ce_extmem::IoSnapshot {
+        self.file.stats()
+    }
+
+    /// The shared pool's physical counters, aggregated across all clones.
+    pub fn phys(&self) -> ce_extmem::PhysSnapshot {
+        self.file.phys()
+    }
+
+    /// The representative of `u`'s component — one block read.
+    pub fn component_of(&self, u: NodeId) -> io::Result<NodeId> {
+        lookup_rep(&mut SharedIo(&self.file), &self.hdr, u)
+    }
+
+    /// Batched representatives in input order; see
+    /// [`SccIndex::component_of_many`] for the cost contract.
+    pub fn component_of_many(&self, nodes: &[NodeId]) -> io::Result<Vec<NodeId>> {
+        lookup_many(&mut SharedIo(&self.file), &self.hdr, nodes)
+    }
+
+    /// True iff `u` and `v` are strongly connected — at most two block
+    /// reads; see [`SccIndex::same_component`].
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> io::Result<bool> {
+        lookup_same(&mut SharedIo(&self.file), &self.hdr, u, v)
+    }
+
+    /// Size of `u`'s component — one block read plus an `O(log n_sccs)`
+    /// binary search over the on-disk size table.
+    pub fn component_size(&self, u: NodeId) -> io::Result<u64> {
+        lookup_size(&mut SharedIo(&self.file), &self.hdr, u)
     }
 }
 
@@ -649,6 +925,15 @@ mod tests {
         assert!(idx.component_of(6).is_err(), "out of range");
     }
 
+    /// Dense labels over 20 nodes: node `v` belongs to component `v / 4`
+    /// (reps 0, 4, 8, 12, 16). With 64-byte pages (16 labels each) the
+    /// labels span two pages, so cross-page query costs are exercised.
+    fn two_page_labels(env: &DiskEnv) -> ExtFile<SccLabel> {
+        let labels: Vec<SccLabel> =
+            (0u32..20).map(|v| SccLabel::new(v, v / 4 * 4)).collect();
+        env.file_from_slice("labs20", &labels).unwrap()
+    }
+
     #[test]
     fn queries_are_counted_and_block_budgeted() {
         let env = env();
@@ -660,9 +945,164 @@ mod tests {
         idx.component_of(4).unwrap();
         let one = env.stats().snapshot().since(&before);
         assert_eq!(one.total_ios(), 1, "component_of is one block read");
+        // Nodes 0 and 5 share the single 64-byte label page: one read.
         let before = env.stats().snapshot();
         idx.same_component(0, 5).unwrap();
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 1);
+    }
+
+    #[test]
+    fn same_component_block_budget_is_zero_one_or_two() {
+        let env = env();
+        let labels = two_page_labels(&env);
+        let path = idx_path(&env, "same");
+        SccIndex::build(&env, &path, &labels, 20, None).unwrap();
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+
+        // u == v: answered by the bounds check alone, zero reads.
+        let before = env.stats().snapshot();
+        assert!(idx.same_component(7, 7).unwrap());
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 0);
+        assert!(idx.same_component(19, 19).is_ok());
+        assert!(idx.same_component(20, 20).is_err(), "bounds still checked");
+
+        // Same page (both labels in bytes 0..64): one page read.
+        let before = env.stats().snapshot();
+        assert!(idx.same_component(1, 2).unwrap());
+        assert!(!idx.same_component(1, 14).unwrap());
         assert_eq!(env.stats().snapshot().since(&before).total_ios(), 2);
+
+        // Cross-page (node 1 on page 0, node 17 on page 1): two reads.
+        let before = env.stats().snapshot();
+        assert!(!idx.same_component(1, 17).unwrap());
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 2);
+        assert!(idx.same_component(16, 19).unwrap(), "answers stay correct");
+    }
+
+    #[test]
+    fn component_of_many_pays_one_read_per_distinct_page() {
+        let env = env();
+        let labels = two_page_labels(&env);
+        let path = idx_path(&env, "many");
+        SccIndex::build(&env, &path, &labels, 20, None).unwrap();
+        let mut idx = SccIndex::open(&env, &path).unwrap();
+
+        // k probes on one page => one logical read, results in input order.
+        let before = env.stats().snapshot();
+        let reps = idx.component_of_many(&[15, 0, 7, 0, 3]).unwrap();
+        assert_eq!(reps, vec![12, 0, 4, 0, 0]);
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 1);
+
+        // A batch spanning both pages: exactly two reads.
+        let before = env.stats().snapshot();
+        let reps = idx.component_of_many(&[19, 2, 16, 3]).unwrap();
+        assert_eq!(reps, vec![16, 0, 16, 0]);
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 2);
+
+        // Empty batch: no I/O. Out-of-range anywhere: error before any I/O.
+        let before = env.stats().snapshot();
+        assert!(idx.component_of_many(&[]).unwrap().is_empty());
+        let err = idx.component_of_many(&[1, 99, 2]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert_eq!(env.stats().snapshot().since(&before).total_ios(), 0);
+    }
+
+    #[test]
+    fn shared_reader_matches_owned_answers_and_logical_costs() {
+        let build_env = env();
+        let labels = two_page_labels(&build_env);
+        let path = idx_path(&build_env, "shared");
+        SccIndex::build(&build_env, &path, &labels, 20, None).unwrap();
+
+        // Fresh env so the owned open's logical cost is isolated.
+        let fresh = env();
+        let open0 = fresh.stats().snapshot();
+        let mut owned = SccIndex::open(&fresh, &path).unwrap();
+        let owned_open = fresh.stats().snapshot().since(&open0);
+        let reader = SccIndex::open_shared(&path, 8).unwrap();
+        assert_eq!(reader.stats(), owned_open, "open protocols priced identically");
+        assert_eq!(reader.n_nodes(), 20);
+        assert_eq!(reader.n_sccs(), 5);
+        assert_eq!(reader.page_size(), 64);
+
+        // Every query kind: identical answers and identical logical deltas.
+        let handle = reader.clone(); // fresh counters
+        let mut last = handle.stats();
+        let mut owned_last = fresh.stats().snapshot();
+        let mut check = |tag: &str,
+                         owned_r: io::Result<Vec<NodeId>>,
+                         shared_r: io::Result<Vec<NodeId>>| {
+            let (a, b) = (owned_r.unwrap(), shared_r.unwrap());
+            assert_eq!(a, b, "{tag}: answers");
+            let now = fresh.stats().snapshot();
+            let owned_d = now.since(&owned_last);
+            owned_last = now;
+            let snow = handle.stats();
+            let shared_d = snow.since(&last);
+            last = snow;
+            assert_eq!(owned_d, shared_d, "{tag}: logical I/O");
+        };
+        for u in [0u32, 7, 16, 19] {
+            check(
+                "component_of",
+                owned.component_of(u).map(|r| vec![r]),
+                handle.component_of(u).map(|r| vec![r]),
+            );
+        }
+        for (u, v) in [(3, 3), (1, 2), (1, 14), (1, 17), (16, 19)] {
+            check(
+                "same_component",
+                owned.same_component(u, v).map(|b| vec![b as u32]),
+                handle.same_component(u, v).map(|b| vec![b as u32]),
+            );
+        }
+        check(
+            "component_of_many",
+            owned.component_of_many(&[19, 2, 16, 3, 2]),
+            handle.component_of_many(&[19, 2, 16, 3, 2]),
+        );
+        for u in [0u32, 13, 19] {
+            check(
+                "component_size",
+                owned.component_size(u).map(|s| vec![s as u32]),
+                handle.component_size(u).map(|s| vec![s as u32]),
+            );
+        }
+
+        // Errors carry the same message across handles.
+        let e1 = owned.component_of(77).unwrap_err();
+        let e2 = handle.component_of(77).unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
+
+        // The pool is genuinely shared: a second clone hitting the same
+        // pages performs zero physical reads.
+        let warm = reader.clone();
+        let phys0 = warm.phys();
+        warm.component_of(5).unwrap();
+        let d = warm.phys().since(&phys0);
+        assert_eq!(d.reads, 0, "page already resident");
+        assert_eq!(d.hits, 1);
+    }
+
+    #[test]
+    fn shared_open_rejects_corruption_like_owned_open() {
+        let build_env = env();
+        let labels = sample_labels(&build_env);
+        let path = idx_path(&build_env, "sharedbad");
+        SccIndex::build(&build_env, &path, &labels, 6, None).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        let mut flipped = pristine.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = SccIndex::open_shared(&path, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        std::fs::write(&path, &pristine[..HEADER_LEN / 2]).unwrap();
+        assert!(SccIndex::open_shared(&path, 4).is_err(), "short header");
+
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(SccIndex::open_shared(&path, 4).is_ok());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod types;
 pub use algo::{AlgoBudget, AlgoError, KosarajuOracle, SccAlgorithm, SccRun, SccSolution, TarjanOracle};
 pub use csr::CsrGraph;
 pub use edgelist::EdgeListGraph;
-pub use index::SccIndex;
+pub use index::{SccIndex, SccIndexReader};
 pub use labels::SccLabeling;
 pub use planner::{Engine, Plan, Planner};
 pub use types::{Edge, NodeId, SccLabel};

@@ -345,6 +345,31 @@ pub fn smoke_workloads() -> Vec<SmokeWorkload> {
 /// One smoke bench workload: family name, node count, builder.
 pub type SmokeWorkload = (&'static str, u64, fn(&DiskEnv) -> io::Result<EdgeListGraph>);
 
+/// Builds the deterministic query-serving smoke index shared by `scc serve
+/// --self-test`, the `bench_qps` emitter and the threaded stress test:
+/// a `gen::web_like(n_nodes, 4.0, seed)` graph labeled by the in-memory
+/// Tarjan oracle and materialized at `path` (page size = the environment's
+/// block size). Returns the oracle's canonical representative per node —
+/// the ground truth every concurrent query answer is checked against.
+pub fn build_query_index(
+    env: &DiskEnv,
+    path: &std::path::Path,
+    n_nodes: u32,
+    seed: u64,
+) -> io::Result<Vec<u32>> {
+    let g = gen::web_like(env, n_nodes, 4.0, seed)?;
+    let edges = g.edges_in_memory()?;
+    let r = ce_graph::tarjan::tarjan_scc(&ce_graph::CsrGraph::from_edges(g.n_nodes(), &edges));
+    let reps = r.canonical_reps();
+    let mut w = env.writer::<SccLabel>("query-index-oracle-labels")?;
+    for (v, &rep) in reps.iter().enumerate() {
+        w.push(SccLabel::new(v as u32, rep))?;
+    }
+    let labels = w.finish()?;
+    SccIndex::build(env, path, &labels, g.n_nodes(), None)?;
+    Ok(reps)
+}
+
 /// Node counts of the four bench-scenario families at each scale (shared
 /// between [`smoke_workloads`], the matrix's `n_nodes` closures and its
 /// full-scale `build` arms, so sizes cannot drift from the budgets computed

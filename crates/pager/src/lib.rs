@@ -14,6 +14,10 @@
 //!   fixed-capacity [buffer pool](Pager) with LRU eviction, pin counts and
 //!   dirty-page write-back. With capacity 0 the pager degenerates to a
 //!   pass-through in which every block access is a physical transfer.
+//! * [`SharedPager`] is the concurrent complement for *finished* artifacts:
+//!   a read-only striped-lock LRU pool over one immutable file whose
+//!   `read_at` takes `&self`, so any number of query threads share the hot
+//!   pages of one open index (see `ce-graph`'s `SccIndexReader`).
 //!
 //! The pool counts **physical** transfers ([`PhysStats`]): blocks actually
 //! moved between a frame and a backend, plus cache hits and misses. The
@@ -28,8 +32,10 @@
 
 pub mod backend;
 pub mod pool;
+pub mod shared;
 pub mod stats;
 
 pub use backend::{BackendKind, BlockBackend, FileBackend, MemBackend};
 pub use pool::{FileId, Pager};
+pub use shared::SharedPager;
 pub use stats::{PhysSnapshot, PhysStats};

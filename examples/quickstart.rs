@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("total SCCs: {}", built.index.n_sccs());
     assert_eq!(&sizes[..4], &[3000, 3000, 3000, 3000]);
 
-    // Point queries cost one or two block reads each.
+    // Point queries cost at most two block reads each.
     let before = session.env().stats().snapshot();
     let rep = built.index.component_of(0)?;
     let same = built.index.same_component(0, rep)?;

@@ -12,6 +12,9 @@
 //!           [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]
 //!           [--condense] [--stats]
 //! scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]
+//! scc serve --index graph.sccidx [--threads N] [--cache-blocks N] [--stats]
+//! scc serve --index graph.sccidx --queries K [--batch B] [--seed S] [--threads N]
+//! scc serve --self-test [--threads N] [--nodes N] [--seed S]
 //! scc verify [--scale smoke|full]
 //! scc --version | -V
 //! ```
@@ -28,6 +31,29 @@
 //! query` answers `component_of` / `same_component` / `component_size`
 //! from that artifact alone — no recomputation — reporting the logical
 //! query I/O under `--stats`.
+//!
+//! `scc serve` is the concurrent query loop over one open artifact: it
+//! opens the index once behind a shared read-only block pool
+//! (`SccIndexReader`) and answers query lines from stdin on `--threads`
+//! worker threads, each holding its own cloned handle. The line protocol
+//! (one answer line per query line, errors answered inline so the loop
+//! never dies mid-stream):
+//!
+//! ```text
+//! c U            -> component_of(U) = R
+//! s U V          -> same_component(U, V) = true|false
+//! z U            -> component_size(U) = S
+//! b U1 U2 ...    -> component_of_many(k) = R1 R2 ...
+//! ```
+//!
+//! `--queries K` serves a deterministic generated workload instead of
+//! stdin and reports throughput; `--self-test` builds a scratch index from
+//! a generated graph and replays a mixed workload on every thread against
+//! the in-memory Tarjan oracle, additionally asserting that each thread's
+//! per-query logical I/O is bit-identical to the owned single-reader path
+//! (exit 0 iff everything matches). Query counts and throughput are
+//! published to the `ce-obs` metrics registry (`serve.queries`,
+//! `serve.qps`), printed under `--stats`.
 //!
 //! `scc verify` runs the `ce-harness` differential conformance matrix:
 //! every registered algorithm (the five external engines plus the in-memory
@@ -112,6 +138,9 @@ fn usage() -> &'static str {
      \x20              [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]\n\
      \x20              [--condense (flag: embed the condensation DAG)] [--stats]\n\
      \x20      scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]\n\
+     \x20      scc serve --index graph.sccidx [--threads N] [--cache-blocks N] [--stats]\n\
+     \x20              [--queries K [--batch B] [--seed S]]\n\
+     \x20      scc serve --self-test [--threads N] [--nodes N] [--seed S]\n\
      \x20      scc verify [--scale smoke|full]\n\
      \x20      scc --version | -V\n\
      \x20 (flat `scc --input ...` stays a byte-compatible alias for `scc run`)"
@@ -570,6 +599,18 @@ fn run_index_query(args: &[String]) -> Result<ExitCode, String> {
         )?;
         let mut idx = SccIndex::open(&env, &index)?;
         let open_ios = env.stats().snapshot();
+        // Validate every requested node up front: a failing query must be
+        // one clean error line, never answers for `-u` followed by a
+        // mid-stream failure on `-v`.
+        for x in std::iter::once(u).chain(v) {
+            if x as u64 >= idx.n_nodes() {
+                return Err(format!(
+                    "node {x} out of range (index covers {} nodes)",
+                    idx.n_nodes()
+                )
+                .into());
+            }
+        }
         println!("component_of({u}) = {}", idx.component_of(u)?);
         println!("component_size({u}) = {}", idx.component_size(u)?);
         if let Some(v) = v {
@@ -589,6 +630,436 @@ fn run_index_query(args: &[String]) -> Result<ExitCode, String> {
         Ok(())
     };
     match query_it() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// One parsed query of the serve protocol.
+enum ServeQuery {
+    Point(u32),
+    Same(u32, u32),
+    Size(u32),
+    Batch(Vec<u32>),
+}
+
+/// Deterministic xorshift64 step shared by the generated workload and the
+/// self-test (seeds must never be 0; callers mix a nonzero constant in).
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Draws one query of the mixed generated workload: mostly point lookups,
+/// some pair checks, some batches (the ratio is arbitrary but fixed, so a
+/// seed fully determines the workload).
+fn gen_query(x: &mut u64, n_nodes: u32, batch: usize) -> ServeQuery {
+    let node = |x: &mut u64| (xorshift(x) % n_nodes as u64) as u32;
+    match xorshift(x) % 10 {
+        0..=6 => ServeQuery::Point(node(x)),
+        7 | 8 => ServeQuery::Same(node(x), node(x)),
+        _ => ServeQuery::Batch((0..batch).map(|_| node(x)).collect()),
+    }
+}
+
+/// Parses one protocol line (`c U` | `s U V` | `z U` | `b U1 U2 ...`).
+fn parse_query(line: &str) -> Result<ServeQuery, String> {
+    let mut it = line.split_whitespace();
+    let op = it.next().ok_or("empty query line")?;
+    let mut node = |what: &str| -> Result<u32, String> {
+        let tok = it.next().ok_or_else(|| format!("{op:?} needs {what}"))?;
+        tok.parse::<u32>().map_err(|e| format!("bad node {tok:?}: {e}"))
+    };
+    let q = match op {
+        "c" => ServeQuery::Point(node("a node")?),
+        "s" => ServeQuery::Same(node("two nodes")?, node("two nodes")?),
+        "z" => ServeQuery::Size(node("a node")?),
+        "b" => {
+            let mut nodes = Vec::new();
+            for tok in it {
+                nodes.push(
+                    tok.parse::<u32>().map_err(|e| format!("bad node {tok:?}: {e}"))?,
+                );
+            }
+            if nodes.is_empty() {
+                return Err("\"b\" needs at least one node".into());
+            }
+            return Ok(ServeQuery::Batch(nodes));
+        }
+        other => return Err(format!("unknown query op {other:?} (use c|s|z|b)")),
+    };
+    if it.next().is_some() {
+        return Err(format!("trailing tokens after {op:?} query"));
+    }
+    Ok(q)
+}
+
+/// Answers one query as one output line; errors become inline
+/// `error: ...` lines so the serving loop survives bad nodes.
+fn answer_query(idx: &SccIndexReader, q: &ServeQuery) -> String {
+    let r = match q {
+        ServeQuery::Point(u) => {
+            idx.component_of(*u).map(|r| format!("component_of({u}) = {r}"))
+        }
+        ServeQuery::Same(u, v) => idx
+            .same_component(*u, *v)
+            .map(|b| format!("same_component({u}, {v}) = {b}")),
+        ServeQuery::Size(u) => {
+            idx.component_size(*u).map(|s| format!("component_size({u}) = {s}"))
+        }
+        ServeQuery::Batch(us) => idx.component_of_many(us).map(|rs| {
+            let reps: Vec<String> = rs.iter().map(|r| r.to_string()).collect();
+            format!("component_of_many({}) = {}", us.len(), reps.join(" "))
+        }),
+    };
+    r.unwrap_or_else(|e| format!("error: {e}"))
+}
+
+/// The stdin serving loop: lines are consumed in chunks, each chunk split
+/// across the worker threads (one cloned reader each), answers printed in
+/// input order. Parse errors are answered inline without reaching a worker.
+fn serve_stdin(
+    idx: &SccIndexReader,
+    threads: usize,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    const CHUNK: usize = 4096;
+    let stdin = std::io::stdin();
+    let mut out = BufWriter::new(std::io::stdout().lock());
+    let mut served = 0u64;
+    let mut lines = std::io::BufRead::lines(stdin.lock());
+    loop {
+        let mut chunk: Vec<Result<ServeQuery, String>> = Vec::with_capacity(CHUNK);
+        for line in lines.by_ref().take(CHUNK) {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            chunk.push(parse_query(&line));
+        }
+        if chunk.is_empty() {
+            break;
+        }
+        served += chunk.len() as u64;
+        let per = chunk.len().div_ceil(threads);
+        let answers: Vec<Vec<String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .chunks(per)
+                .map(|part| {
+                    let handle = idx.clone();
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|q| match q {
+                                Ok(q) => answer_query(&handle, q),
+                                Err(msg) => format!("error: {msg}"),
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for line in answers.iter().flatten() {
+            writeln!(out, "{line}")?;
+        }
+        out.flush()?;
+    }
+    Ok(served)
+}
+
+/// The generated-workload loop (`--queries K`): each thread replays its
+/// deterministic slice of the workload on its own cloned reader handle.
+/// Returns (queries served, aggregated logical I/O).
+fn serve_generated(
+    idx: &SccIndexReader,
+    threads: usize,
+    queries: u64,
+    batch: usize,
+    seed: u64,
+) -> Result<(u64, IoSnapshot), Box<dyn std::error::Error>> {
+    let n_nodes = u32::try_from(idx.n_nodes()).unwrap_or(u32::MAX);
+    let per = queries.div_ceil(threads as u64);
+    let results: Vec<Result<IoSnapshot, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let handle = idx.clone();
+                s.spawn(move || {
+                    let mine = per.min(queries.saturating_sub(t * per));
+                    let mut x = seed ^ (0x9e37_79b9_7f4a_7c15 + t);
+                    for _ in 0..mine {
+                        let q = gen_query(&mut x, n_nodes, batch);
+                        let line = answer_query(&handle, &q);
+                        if line.starts_with("error: ") {
+                            return Err(line);
+                        }
+                    }
+                    Ok(handle.stats())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut total = IoSnapshot::default();
+    for r in results {
+        total = total.plus(&r.map_err(|e| format!("generated workload failed: {e}"))?);
+    }
+    Ok((queries, total))
+}
+
+/// `scc serve --self-test`: builds a scratch index from a generated graph,
+/// then replays one deterministic mixed workload on every thread against
+/// the in-memory Tarjan oracle — checking answers *and* that each thread's
+/// per-query logical I/O is bit-identical to the owned single-reader path.
+fn serve_self_test(
+    threads: usize,
+    n_nodes: u32,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    const BLOCK: usize = 1024;
+    const QUERIES: usize = 1500;
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 4 << 20))?;
+    let path = env.root().join("self-test.sccidx");
+    let reps = contract_expand::harness::build_query_index(&env, &path, n_nodes, seed)?;
+    let mut sizes = std::collections::HashMap::<u32, u64>::new();
+    for &r in &reps {
+        *sizes.entry(r).or_default() += 1;
+    }
+
+    // The workload every thread (and the owned baseline) replays.
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let workload: Vec<ServeQuery> =
+        (0..QUERIES).map(|_| gen_query(&mut x, n_nodes, 8)).collect();
+
+    // Owned single-reader baseline: per-query logical deltas.
+    let mut owned = SccIndex::open(&env, &path)?;
+    let mut owned_deltas = Vec::with_capacity(workload.len());
+    let mut last = env.stats().snapshot();
+    for q in &workload {
+        match q {
+            ServeQuery::Point(u) => drop(owned.component_of(*u)?),
+            ServeQuery::Same(u, v) => drop(owned.same_component(*u, *v)?),
+            ServeQuery::Size(u) => drop(owned.component_size(*u)?),
+            ServeQuery::Batch(us) => drop(owned.component_of_many(us)?),
+        }
+        let now = env.stats().snapshot();
+        owned_deltas.push(now.since(&last));
+        last = now;
+    }
+
+    let reader = SccIndex::open_shared(&path, 256)?;
+    let failures: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let handle = reader.clone();
+                let (workload, reps, sizes, owned_deltas) =
+                    (&workload, &reps, &sizes, &owned_deltas);
+                s.spawn(move || -> Result<(), String> {
+                    let mut last = handle.stats();
+                    for (i, q) in workload.iter().enumerate() {
+                        let err = |what: String| format!("thread {t}, query {i}: {what}");
+                        match q {
+                            ServeQuery::Point(u) => {
+                                let got = handle
+                                    .component_of(*u)
+                                    .map_err(|e| err(e.to_string()))?;
+                                if got != reps[*u as usize] {
+                                    return Err(err(format!(
+                                        "component_of({u}) = {got}, oracle says {}",
+                                        reps[*u as usize]
+                                    )));
+                                }
+                            }
+                            ServeQuery::Same(u, v) => {
+                                let got = handle
+                                    .same_component(*u, *v)
+                                    .map_err(|e| err(e.to_string()))?;
+                                let want = reps[*u as usize] == reps[*v as usize];
+                                if got != want {
+                                    return Err(err(format!(
+                                        "same_component({u}, {v}) = {got}, oracle says {want}"
+                                    )));
+                                }
+                            }
+                            ServeQuery::Size(u) => {
+                                let got = handle
+                                    .component_size(*u)
+                                    .map_err(|e| err(e.to_string()))?;
+                                let want = sizes[&reps[*u as usize]];
+                                if got != want {
+                                    return Err(err(format!(
+                                        "component_size({u}) = {got}, oracle says {want}"
+                                    )));
+                                }
+                            }
+                            ServeQuery::Batch(us) => {
+                                let got = handle
+                                    .component_of_many(us)
+                                    .map_err(|e| err(e.to_string()))?;
+                                let want: Vec<u32> =
+                                    us.iter().map(|&u| reps[u as usize]).collect();
+                                if got != want {
+                                    return Err(err("batch answers diverge".into()));
+                                }
+                            }
+                        }
+                        let now = handle.stats();
+                        let delta = now.since(&last);
+                        last = now;
+                        if delta != owned_deltas[i] {
+                            return Err(err(format!(
+                                "logical I/O {delta:?} != owned {:?}",
+                                owned_deltas[i]
+                            )));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("worker panicked").err())
+            .collect()
+    });
+    if let Some(first) = failures.first() {
+        return Err(format!("self-test failed: {first}").into());
+    }
+    println!(
+        "self-test ok: {} queries x {threads} threads over {n_nodes} nodes \
+         ({} components); answers match the oracle, per-query logical I/O \
+         identical to the owned path",
+        workload.len(),
+        reader.n_sccs()
+    );
+    Ok(())
+}
+
+/// `scc serve` — the concurrent query loop (see the module docs for the
+/// protocol and modes).
+fn run_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut index: Option<PathBuf> = None;
+    let mut threads = 1usize;
+    let mut cache_blocks = 1024usize;
+    let mut queries: Option<u64> = None;
+    let mut batch = 16usize;
+    let mut seed = 42u64;
+    let mut nodes = 5000u32;
+    let mut self_test = false;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        fn num<T: std::str::FromStr>(name: &str, s: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            s.parse::<T>().map_err(|e| format!("bad {name} {s:?}: {e}"))
+        }
+        match a.as_str() {
+            "--index" => index = Some(PathBuf::from(value("--index")?)),
+            "--threads" => {
+                threads = num("--threads", value("--threads")?)?;
+                if threads == 0 || threads > 1024 {
+                    return Err("--threads must be in 1..=1024".into());
+                }
+            }
+            "--cache-blocks" => cache_blocks = num("--cache-blocks", value("--cache-blocks")?)?,
+            "--queries" => queries = Some(num("--queries", value("--queries")?)?),
+            "--batch" => {
+                batch = num("--batch", value("--batch")?)?;
+                if batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
+            "--seed" => seed = num("--seed", value("--seed")?)?,
+            "--nodes" => {
+                nodes = num("--nodes", value("--nodes")?)?;
+                if nodes == 0 {
+                    return Err("--nodes must be positive".into());
+                }
+            }
+            "--self-test" => self_test = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown serve argument {other:?}\n{}", usage())),
+        }
+    }
+
+    let serve_it = || -> Result<(), Box<dyn std::error::Error>> {
+        if self_test {
+            return serve_self_test(threads, nodes, seed);
+        }
+        let index = index
+            .as_ref()
+            .ok_or_else(|| format!("--index is required (or --self-test)\n{}", usage()))?;
+        let reader = SccIndex::open_shared(index, cache_blocks)?;
+        if reader.n_nodes() == 0 {
+            return Err("index covers 0 nodes; nothing to serve".into());
+        }
+        eprintln!(
+            "serving {}: {} nodes, {} components, {} bytes; {} threads, {} cache blocks",
+            index.display(),
+            reader.n_nodes(),
+            reader.n_sccs(),
+            reader.len_bytes(),
+            threads,
+            cache_blocks
+        );
+        // Metrics (and the serve span) only record into a live sink;
+        // without --stats the whole observability path stays disabled and
+        // costs one thread-local branch per query batch.
+        let _guard = stats.then(|| {
+            contract_expand::obs::install(std::rc::Rc::new(contract_expand::obs::MemSink::new()))
+        });
+        let sp = contract_expand::obs::span!("serve", threads = threads as u64);
+        let t0 = std::time::Instant::now();
+        let served = match queries {
+            Some(k) => {
+                let (served, logical) = serve_generated(&reader, threads, k, batch, seed)?;
+                let wall = t0.elapsed();
+                let qps = served as f64 / wall.as_secs_f64().max(1e-9);
+                println!(
+                    "served {served} queries on {threads} threads in {:.1} ms ({qps:.0} qps)",
+                    wall.as_secs_f64() * 1e3
+                );
+                if stats {
+                    eprintln!("workload logical I/O: {logical}");
+                }
+                served
+            }
+            None => serve_stdin(&reader, threads)?,
+        };
+        let wall = t0.elapsed();
+        sp.close(&[("queries", served)], 0);
+        contract_expand::obs::metrics::counter_add("serve.queries", served);
+        contract_expand::obs::metrics::gauge_set(
+            "serve.qps",
+            (served as f64 / wall.as_secs_f64().max(1e-9)) as u64,
+        );
+        if stats {
+            eprintln!(
+                "served {served} queries in {:.1} ms; {}",
+                wall.as_secs_f64() * 1e3,
+                reader.phys()
+            );
+            let metrics = contract_expand::obs::metrics::snapshot();
+            if !metrics.is_empty() {
+                eprint!("{}", contract_expand::obs::metrics::render(&metrics));
+            }
+        }
+        Ok(())
+    };
+    match serve_it() {
         Ok(()) => Ok(ExitCode::SUCCESS),
         Err(e) => {
             eprintln!("error: {e}");
@@ -650,6 +1121,7 @@ fn main() -> ExitCode {
         Some("verify") => dispatch(run_verify(&argv[1..])),
         Some("plan") => dispatch(run_plan(&argv[1..])),
         Some("index") => dispatch(run_index(&argv[1..])),
+        Some("serve") => dispatch(run_serve(&argv[1..])),
         Some("run") => run_flat(&argv[1..]),
         _ => run_flat(&argv),
     }

@@ -36,8 +36,9 @@
 //! let mut built = session.build_index(&path).unwrap();
 //! assert_eq!(built.run.n_sccs, built.index.n_sccs());
 //!
-//! // Point queries cost one or two block reads each, counted in the same
-//! // logical I/O model as the build.
+//! // Point queries cost at most two block reads each (one for
+//! // `component_of`, zero/one/two for `same_component`), counted in the
+//! // same logical I/O model as the build.
 //! let rep = built.index.component_of(7).unwrap();
 //! assert!(built.index.same_component(7, rep).unwrap());
 //! assert!(built.index.component_size(7).unwrap() >= 1);
@@ -105,8 +106,8 @@ pub mod prelude {
     pub use ce_graph::gen;
     pub use ce_graph::planner::{Engine, Plan, Planner};
     pub use ce_graph::{
-        CsrGraph, Edge, EdgeListGraph, KosarajuOracle, NodeId, SccIndex, SccLabel, SccLabeling,
-        TarjanOracle,
+        CsrGraph, Edge, EdgeListGraph, KosarajuOracle, NodeId, SccIndex, SccIndexReader, SccLabel,
+        SccLabeling, TarjanOracle,
     };
     pub use ce_harness::HarnessScale;
     pub use ce_semi_scc::{planner_for, SemiSccAlgo, SemiSccKind};

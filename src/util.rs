@@ -22,8 +22,11 @@ pub fn storage_stats(env: &DiskEnv) -> String {
 /// `"64M"`, `"4G"` (suffixes are case-insensitive, powers of 1024).
 ///
 /// One implementation for every `scc` subcommand and example — bare
-/// suffixes (`"K"`), non-digits and overflowing products are rejected with
-/// a message naming the offending input.
+/// suffixes (`"K"`), non-digits, signs and overflowing products are
+/// rejected with a message naming the offending input. Signs are rejected
+/// uniformly: `usize::from_str` would happily take `"+4K"` while `"-4K"`
+/// fails, and a size flag that accepts one sign but not the other reads
+/// like a parser bug, so any non-digit start is refused.
 ///
 /// ```
 /// use contract_expand::util::parse_size;
@@ -31,6 +34,8 @@ pub fn storage_stats(env: &DiskEnv) -> String {
 /// assert_eq!(parse_size("3m"), Ok(3 << 20));
 /// assert_eq!(parse_size("512"), Ok(512));
 /// assert!(parse_size("K").unwrap_err().contains("missing digits"));
+/// assert!(parse_size("+4K").unwrap_err().contains("bad size"));
+/// assert!(parse_size("-4K").unwrap_err().contains("bad size"));
 /// ```
 pub fn parse_size(s: &str) -> Result<usize, String> {
     let (digits, mult) = match s.chars().last() {
@@ -41,6 +46,9 @@ pub fn parse_size(s: &str) -> Result<usize, String> {
     };
     if digits.is_empty() {
         return Err(format!("bad size {s:?}: missing digits before the suffix"));
+    }
+    if !digits.starts_with(|c: char| c.is_ascii_digit()) {
+        return Err(format!("bad size {s:?}: must start with a digit"));
     }
     digits
         .parse::<usize>()
@@ -86,7 +94,12 @@ mod tests {
         assert!(parse_size("").unwrap_err().contains("missing digits"));
         assert!(parse_size("lots").unwrap_err().contains("bad size"));
         assert!(parse_size("12x").unwrap_err().contains("bad size"));
-        assert!(parse_size("-4K").unwrap_err().contains("bad size"));
+        // Signs are rejected uniformly: `+` parses as a usize but not as a
+        // size, and ` 4K` (stray whitespace) is no better.
+        for signed in ["-4K", "+4K", "+4", "-4", " 4K"] {
+            let err = parse_size(signed).unwrap_err();
+            assert!(err.contains("bad size"), "{signed}: {err}");
+        }
         assert!(parse_size("18446744073709551615K")
             .unwrap_err()
             .contains("overflows"));

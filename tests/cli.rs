@@ -110,6 +110,8 @@ fn every_subcommand_accepts_help() {
         vec!["index", "--help"],
         vec!["index", "build", "--help"],
         vec!["index", "query", "--help"],
+        vec!["serve", "--help"],
+        vec!["serve", "-h"],
         vec!["verify", "--help"],
         vec!["run", "-h"],
         vec!["plan", "-h"],
@@ -320,6 +322,184 @@ fn index_build_then_query_answers_without_recomputing() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_query_out_of_range_is_one_clean_line_for_both_nodes() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-oob-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+    let idx = dir.join("g.sccidx");
+    let build = scc_bin()
+        .args(["index", "build", "--input"])
+        .arg(&input)
+        .arg("--out")
+        .arg(&idx)
+        .output()
+        .unwrap();
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+
+    // A failing query must be one error line and nothing else — in
+    // particular `-u 0 -v 99` must not print the `-u` answers before
+    // discovering `-v` is out of range.
+    for args in [vec!["-u", "99"], vec!["-u", "0", "-v", "99"], vec!["-u", "99", "-v", "0"]] {
+        let r = scc_bin()
+            .args(["index", "query", "--index"])
+            .arg(&idx)
+            .args(&args)
+            .output()
+            .unwrap();
+        assert_eq!(r.status.code(), Some(1), "{args:?}");
+        assert_eq!(r.stdout, b"", "{args:?}: no partial answers on stdout");
+        let stderr = String::from_utf8_lossy(&r.stderr);
+        assert_eq!(
+            stderr.trim(),
+            "error: node 99 out of range (index covers 5 nodes)",
+            "{args:?}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_self_test_passes_and_exits_zero() {
+    let r = scc_bin()
+        .args(["serve", "--self-test", "--threads", "2", "--nodes", "600"])
+        .output()
+        .unwrap();
+    assert!(
+        r.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&r.stdout),
+        String::from_utf8_lossy(&r.stderr)
+    );
+    let out = String::from_utf8_lossy(&r.stdout);
+    assert!(out.contains("self-test ok"), "{out}");
+    assert!(out.contains("logical I/O"), "{out}");
+}
+
+#[test]
+fn serve_answers_protocol_lines_in_order_and_survives_bad_queries() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("scc-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+    let idx = dir.join("g.sccidx");
+    let build = scc_bin()
+        .args(["index", "build", "--input"])
+        .arg(&input)
+        .arg("--out")
+        .arg(&idx)
+        .output()
+        .unwrap();
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+
+    let mut child = scc_bin()
+        .args(["serve", "--index"])
+        .arg(&idx)
+        .args(["--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"c 0\ns 0 1\ns 0 3\nz 3\nb 0 1 2 3 4\nc 99\nq nope\nb\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Answers come back in input order: bad queries are answered inline
+    // with `error:` lines and do not kill the loop.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            "component_of(0) = 0",
+            "same_component(0, 1) = true",
+            "same_component(0, 3) = false",
+            "component_size(3) = 2",
+            "component_of_many(5) = 0 0 0 3 3",
+            "error: node 99 out of range (index covers 5 nodes)",
+            "error: unknown query op \"q\" (use c|s|z|b)",
+            "error: \"b\" needs at least one node",
+        ],
+        "{stdout}"
+    );
+    // The banner goes to stderr so stdout stays machine-parseable.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serving"), "banner on stderr");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_generated_workload_reports_qps() {
+    let dir = std::env::temp_dir().join(format!("scc-cli-serveq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    std::fs::write(&input, "0 1\n1 2\n2 0\n2 3\n3 4\n4 3\n").unwrap();
+    let idx = dir.join("g.sccidx");
+    assert!(scc_bin()
+        .args(["index", "build", "--input"])
+        .arg(&input)
+        .arg("--out")
+        .arg(&idx)
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let r = scc_bin()
+        .args(["serve", "--index"])
+        .arg(&idx)
+        .args(["--threads", "2", "--queries", "500", "--batch", "4", "--stats"])
+        .output()
+        .unwrap();
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let out = String::from_utf8_lossy(&r.stdout);
+    assert!(out.contains("served 500 queries on 2 threads"), "{out}");
+    assert!(out.contains("qps"), "{out}");
+    let stderr = String::from_utf8_lossy(&r.stderr);
+    assert!(stderr.contains("workload logical I/O"), "{stderr}");
+    assert!(stderr.contains("serve.queries"), "--stats must render metrics: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_usage_and_missing_index() {
+    // Usage errors exit 2.
+    let r = scc_bin().args(["serve", "--frobnicate"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("unknown serve argument"));
+
+    let r = scc_bin().args(["serve", "--threads", "0"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("--threads"));
+
+    let r = scc_bin().args(["serve", "--threads"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("requires a value"));
+
+    // Runtime failures exit 1: no --index at all, then one that is not there.
+    let r = scc_bin().args(["serve"]).output().unwrap();
+    assert_eq!(r.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("--index is required"));
+
+    let r = scc_bin()
+        .args(["serve", "--index", "/definitely/not/here.sccidx"])
+        .output()
+        .unwrap();
+    assert_eq!(r.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("error"));
 }
 
 #[test]

@@ -1,0 +1,69 @@
+//! Gate over the committed `BENCH_pr8.json` QPS trajectory (PR 8's
+//! concurrent read path): the file must exist, carry the full
+//! threads × cache grid, and — **when it was recorded on a host with at
+//! least 4 CPUs** — show warm 4-thread throughput at least 2x warm
+//! single-thread. The `host_cpus` gate is the point, not a loophole: on a
+//! 1-CPU container the 4-thread ratio measures the scheduler (it can
+//! legitimately be *below* 1x), so asserting scaling there would pin
+//! noise. The structural assertions and the absolute warm single-thread
+//! floor run unconditionally.
+
+use ce_bench::trajectory::{parse_host_cpus, parse_qps_cells};
+
+const BENCH: &str = include_str!("../BENCH_pr8.json");
+
+#[test]
+fn qps_grid_is_complete_and_sane() {
+    let cells = parse_qps_cells(BENCH);
+    let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+    for want in ["1t/cold", "1t/warm", "4t/cold", "4t/warm"] {
+        assert!(keys.iter().any(|k| k == want), "missing cell {want}; have {keys:?}");
+    }
+    for c in &cells {
+        assert!(c.qps.is_finite() && c.qps > 0.0, "{}: bad qps {}", c.key(), c.qps);
+        assert!(
+            c.wall_ms.is_finite() && c.wall_ms > 0.0,
+            "{}: bad wall {}",
+            c.key(),
+            c.wall_ms
+        );
+    }
+    assert!(
+        parse_host_cpus(BENCH).is_some(),
+        "BENCH_pr8.json must record host_cpus; scaling gates depend on it"
+    );
+}
+
+#[test]
+fn warm_single_thread_throughput_clears_the_floor() {
+    // Point queries on a warm pool are pure in-memory work (hash probe +
+    // 4-byte copy); even a heavily shared CI container clears 50k qps by
+    // orders of magnitude. A committed file below this means the serving
+    // path regressed catastrophically or the bench recorded garbage.
+    let cells = parse_qps_cells(BENCH);
+    let warm1 = cells
+        .iter()
+        .find(|c| c.key() == "1t/warm")
+        .expect("1t/warm cell present (asserted above)");
+    assert!(warm1.qps >= 50_000.0, "warm single-thread qps {} below floor", warm1.qps);
+}
+
+#[test]
+fn multithread_scaling_holds_where_the_host_can_show_it() {
+    let host_cpus = parse_host_cpus(BENCH).expect("host_cpus recorded");
+    if host_cpus < 4 {
+        eprintln!(
+            "skipping scaling assertion: BENCH_pr8.json was recorded on \
+             {host_cpus} CPU(s)"
+        );
+        return;
+    }
+    let cells = parse_qps_cells(BENCH);
+    let qps = |key: &str| cells.iter().find(|c| c.key() == key).expect(key).qps;
+    let (one, four) = (qps("1t/warm"), qps("4t/warm"));
+    assert!(
+        four >= 2.0 * one,
+        "warm 4-thread {four} qps < 2x warm 1-thread {one} qps on a \
+         {host_cpus}-CPU host"
+    );
+}

@@ -1,0 +1,208 @@
+//! Concurrent-serving stress tests: N reader threads hammer one shared
+//! index with deterministic mixed workloads and every answer is checked
+//! against the in-memory Tarjan oracle — *and* every query's logical I/O
+//! delta is checked bit-for-bit against the owned single-reader path.
+//!
+//! The logical-parity assertion is the load-bearing one: the shared read
+//! path ([`SccIndexReader`]) must price queries in the paper's I/O model
+//! exactly like the owned [`SccIndex`] no matter how many threads share
+//! the pool, or the model's numbers would stop being reproducible the
+//! moment serving went concurrent.
+
+use contract_expand::harness::build_query_index;
+use contract_expand::prelude::*;
+
+/// Small blocks so the label section spans many pages and batches
+/// genuinely straddle page boundaries.
+const BLOCK: usize = 512;
+const N_NODES: u32 = 2000;
+const THREADS: usize = 4;
+const QUERIES: usize = 800;
+
+/// One deterministic mixed query; mirrors the xorshift workload the
+/// `scc serve` self-test replays.
+enum Q {
+    Point(u32),
+    Same(u32, u32),
+    Size(u32),
+    Batch(Vec<u32>),
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn workload(seed: u64, n: usize) -> Vec<Q> {
+    let mut x = seed | 1;
+    let node = |x: &mut u64| (xorshift(x) % N_NODES as u64) as u32;
+    (0..n)
+        .map(|_| match xorshift(&mut x) % 10 {
+            0..=5 => Q::Point(node(&mut x)),
+            6 | 7 => Q::Same(node(&mut x), node(&mut x)),
+            8 => Q::Size(node(&mut x)),
+            _ => Q::Batch((0..12).map(|_| node(&mut x)).collect()),
+        })
+        .collect()
+}
+
+/// Builds the scratch index + oracle the tests share.
+fn fixture(env: &DiskEnv) -> (std::path::PathBuf, Vec<u32>) {
+    let path = env.root().join("serve-stress.sccidx");
+    let reps = build_query_index(env, &path, N_NODES, 0xCE11).expect("index build");
+    (path, reps)
+}
+
+#[test]
+fn concurrent_readers_match_oracle_and_owned_logical_costs() {
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 4 << 20)).unwrap();
+    let (path, reps) = fixture(&env);
+    let mut sizes = std::collections::HashMap::<u32, u64>::new();
+    for &r in &reps {
+        *sizes.entry(r).or_default() += 1;
+    }
+    let queries = workload(0xCE11, QUERIES);
+
+    // Owned baseline: replay the workload once, recording each query's
+    // logical delta from the environment's counters.
+    let mut owned = SccIndex::open(&env, &path).unwrap();
+    let mut owned_deltas = Vec::with_capacity(queries.len());
+    let mut last = env.stats().snapshot();
+    for q in &queries {
+        match q {
+            Q::Point(u) => drop(owned.component_of(*u).unwrap()),
+            Q::Same(u, v) => drop(owned.same_component(*u, *v).unwrap()),
+            Q::Size(u) => drop(owned.component_size(*u).unwrap()),
+            Q::Batch(us) => drop(owned.component_of_many(us).unwrap()),
+        }
+        let now = env.stats().snapshot();
+        owned_deltas.push(now.since(&last));
+        last = now;
+    }
+
+    // Shared path: every thread replays the *same* workload on its own
+    // clone concurrently. Logical counters are per-handle, so each thread
+    // must observe exactly the owned deltas even while the physical pool
+    // is being shared (and contended) by the others.
+    let reader = SccIndex::open_shared(&path, 64).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let handle = reader.clone();
+            let (queries, reps, sizes, owned_deltas) = (&queries, &reps, &sizes, &owned_deltas);
+            s.spawn(move || {
+                let mut last = handle.stats();
+                for (i, q) in queries.iter().enumerate() {
+                    match q {
+                        Q::Point(u) => assert_eq!(
+                            handle.component_of(*u).unwrap(),
+                            reps[*u as usize],
+                            "thread {t} query {i}: component_of({u})"
+                        ),
+                        Q::Same(u, v) => assert_eq!(
+                            handle.same_component(*u, *v).unwrap(),
+                            reps[*u as usize] == reps[*v as usize],
+                            "thread {t} query {i}: same_component({u}, {v})"
+                        ),
+                        Q::Size(u) => assert_eq!(
+                            handle.component_size(*u).unwrap(),
+                            sizes[&reps[*u as usize]],
+                            "thread {t} query {i}: component_size({u})"
+                        ),
+                        Q::Batch(us) => assert_eq!(
+                            handle.component_of_many(us).unwrap(),
+                            us.iter().map(|&u| reps[u as usize]).collect::<Vec<_>>(),
+                            "thread {t} query {i}: batch"
+                        ),
+                    }
+                    let now = handle.stats();
+                    assert_eq!(
+                        now.since(&last),
+                        owned_deltas[i],
+                        "thread {t} query {i}: logical I/O diverges from the owned path"
+                    );
+                    last = now;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn batched_queries_dedupe_same_page_probes_under_concurrency() {
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 4 << 20)).unwrap();
+    let (path, reps) = fixture(&env);
+    let reader = SccIndex::open_shared(&path, 64).unwrap();
+    let per_page = BLOCK as u32 / 4; // u32 labels
+
+    // All on one label page (nodes 0..per_page) vs spread across pages:
+    // the one-page batch must cost exactly one block read on every
+    // thread, regardless of pool contention.
+    let one_page: Vec<u32> = (0..16).map(|i| i * (per_page / 16)).collect();
+    let spread: Vec<u32> = (0..4).map(|i| i * per_page).filter(|&u| u < N_NODES).collect();
+    let spread_pages = spread.len() as u64;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let handle = reader.clone();
+            let (one_page, spread, reps) = (&one_page, &spread, &reps);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let before = handle.stats();
+                    let got = handle.component_of_many(one_page).unwrap();
+                    let delta = handle.stats().since(&before);
+                    assert_eq!(
+                        got,
+                        one_page.iter().map(|&u| reps[u as usize]).collect::<Vec<_>>()
+                    );
+                    assert_eq!(
+                        delta.total_ios(),
+                        1,
+                        "16 same-page lookups must collapse to one block read"
+                    );
+
+                    let before = handle.stats();
+                    handle.component_of_many(spread).unwrap();
+                    let delta = handle.stats().since(&before);
+                    assert_eq!(
+                        delta.total_ios(),
+                        spread_pages,
+                        "distinct-page lookups pay one read per page"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn clones_share_physical_pool_but_not_logical_counters() {
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 4 << 20)).unwrap();
+    let (path, _) = fixture(&env);
+    let reader = SccIndex::open_shared(&path, 64).unwrap();
+    let opened = reader.stats();
+
+    // Prime every page the workload will touch through clone A...
+    let a = reader.clone();
+    assert_eq!(a.stats(), IoSnapshot::default(), "clones start with zeroed counters");
+    for u in (0..N_NODES).step_by(16) {
+        a.component_of(u).unwrap();
+    }
+    let a_after = a.stats();
+    assert!(a_after.total_ios() > 0);
+
+    // ...then clone B pays the same *logical* price but zero *physical*
+    // reads: the pool is shared, the model's counters are not.
+    let phys_before = reader.phys();
+    let b = reader.clone();
+    for u in (0..N_NODES).step_by(16) {
+        b.component_of(u).unwrap();
+    }
+    assert_eq!(b.stats(), a_after, "same workload, same logical bill");
+    let phys = reader.phys().since(&phys_before);
+    assert_eq!(phys.reads, 0, "warm pool: clone B must be served from cache");
+    assert!(phys.hits > 0);
+    // The original handle never ran a query; its counters still show only
+    // the open-time validation scan.
+    assert_eq!(reader.stats(), opened);
+}
