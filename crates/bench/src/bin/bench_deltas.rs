@@ -1,0 +1,335 @@
+//! Delta-maintenance emitter for the incremental index path: builds one
+//! condensation-bearing index per workload family, drives a deterministic
+//! stream of single-edge insertions/deletions through
+//! [`DeltaEngine::apply`], and writes per-family update throughput and
+//! I/O-per-delta to `BENCH_<tag>.json`.
+//!
+//! Each cell also records `rebuild_ios`: the logical I/O **floor** of
+//! rebuilding the artifact from scratch for the stream's final graph —
+//! writing the label file, recounting the condensation and materializing
+//! the index, with the SCC computation itself done for free in memory.
+//! A real rebuild pays at least this per update it wants to absorb; the
+//! incremental path's `ios_per_update` staying far below it is the
+//! sublinearity claim, gated by `tests/delta_gate.rs` over the committed
+//! `BENCH_pr9.json`.
+//!
+//! The per-update *logical* I/O is deterministic (asserted identical
+//! across repetitions); only wall time is noisy, so the emitter runs
+//! `--reps` full fresh repetitions per family and reports the **median**
+//! wall time / updates-per-second.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin bench_deltas -- --tag deltas
+//!     [--out DIR] [--reps K] [--updates K]
+//! ```
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use ce_extmem::{DiskEnv, IoConfig};
+use ce_graph::delta::{DeltaBatch, DeltaEngine};
+use ce_graph::labels::condense_counted;
+use ce_graph::tarjan::tarjan_scc;
+use ce_graph::{CsrGraph, Edge, EdgeListGraph, SccIndex, SccLabel};
+
+/// The logical block size the artifacts are built and maintained with —
+/// the label section spans ~20 pages at the default scale, so a
+/// maintenance step accidentally rewriting it would be obvious in
+/// `ios_per_update`.
+const BLOCK: usize = 4096;
+
+const USAGE: &str =
+    "usage: bench_deltas --tag <tag> [--out <dir>] [--reps <k>] [--updates <k>]";
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Block size of the filesystem holding `dir` — context for interpreting
+/// the wall-clock numbers, same as `bench_json`'s header.
+fn host_block_size(dir: &str) -> u64 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        if let Ok(md) = std::fs::metadata(dir) {
+            return md.blksize();
+        }
+    }
+    let _ = dir;
+    4096
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// One bench-scale workload family: a base graph plus a deterministic
+/// update stream. Mirrors the ce-harness differential families in shape,
+/// scaled up to real artifact sizes.
+struct Family {
+    name: &'static str,
+    n: u64,
+    base: Vec<(u32, u32)>,
+    /// Percent of steps that insert (the rest delete a present edge);
+    /// `grow_phase` raises it for the first 60% of the stream.
+    add_bias: u64,
+    grow_phase: bool,
+}
+
+fn families() -> Vec<Family> {
+    // cycle-stitch: 250 disjoint 80-cycles stitched by random cross edges.
+    let mut cycles = Vec::new();
+    for c in 0..250u32 {
+        let at = c * 80;
+        for i in 0..80 {
+            cycles.push((at + i, at + (i + 1) % 80));
+        }
+    }
+    // churn: sparse random base, near-balanced add/remove mix.
+    let n_churn = 20_000u64;
+    let mut x = 0x5eed_0009u64;
+    let churn = (0..30_000)
+        .map(|_| {
+            (
+                (xorshift(&mut x) % n_churn) as u32,
+                (xorshift(&mut x) % n_churn) as u32,
+            )
+        })
+        .collect();
+    // grow-cut: a path spine, grown with back edges then cut apart.
+    let spine = (0..10_000u32).map(|i| (i, i + 1)).collect();
+    vec![
+        Family { name: "cycle-stitch", n: 20_000, base: cycles, add_bias: 85, grow_phase: false },
+        Family { name: "churn", n: n_churn, base: churn, add_bias: 55, grow_phase: false },
+        Family { name: "grow-cut", n: 20_000, base: spine, add_bias: 30, grow_phase: true },
+    ]
+}
+
+/// What one family's measured stream did.
+struct Cell {
+    family: &'static str,
+    n_nodes: u64,
+    updates: u64,
+    adds: u64,
+    removes: u64,
+    merges: u64,
+    total_ios: u64,
+    wall: Duration,
+}
+
+/// Builds the family's index in a fresh environment, replays the update
+/// stream through one held [`DeltaEngine`], and measures the stream's
+/// wall time and logical I/O. Returns the cell plus the final edge
+/// multiset (for the rebuild floor).
+fn run_family(fam: &Family, updates: u64, seed: u64) -> std::io::Result<(Cell, Vec<(u32, u32)>)> {
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 16 << 20))?;
+    let (g, path) = build_index(&env, fam.name, fam.n, &fam.base)?;
+
+    let mut current = fam.base.clone();
+    let mut cell = Cell {
+        family: fam.name,
+        n_nodes: fam.n,
+        updates,
+        adds: 0,
+        removes: 0,
+        merges: 0,
+        total_ios: 0,
+        wall: Duration::ZERO,
+    };
+    let mut eng = DeltaEngine::open(&env, &g, &path)?;
+    let mut x = seed | 1;
+    let before = env.stats().snapshot();
+    let t0 = Instant::now();
+    for step in 0..updates {
+        let bias = if fam.grow_phase && step < updates * 3 / 5 { 90 } else { fam.add_bias };
+        let report = if xorshift(&mut x) % 100 < bias || current.is_empty() {
+            let mut u = (xorshift(&mut x) % fam.n) as u32;
+            let mut v = (xorshift(&mut x) % fam.n) as u32;
+            if fam.grow_phase && step < updates * 3 / 5 && u < v {
+                std::mem::swap(&mut u, &mut v);
+            }
+            current.push((u, v));
+            cell.adds += 1;
+            eng.apply(&DeltaBatch::new().add(u, v))?
+        } else {
+            let i = xorshift(&mut x) as usize % current.len();
+            let (u, v) = current.swap_remove(i);
+            cell.removes += 1;
+            eng.apply(&DeltaBatch::new().remove(u, v))?
+        };
+        cell.merges += report.merges;
+    }
+    cell.wall = t0.elapsed();
+    cell.total_ios = env.stats().snapshot().since(&before).total_ios();
+    Ok((cell, current))
+}
+
+/// Builds a condensation-bearing index for `edges` over `n` nodes and
+/// returns the base graph handle plus the artifact path.
+fn build_index(
+    env: &DiskEnv,
+    name: &str,
+    n: u64,
+    edges: &[(u32, u32)],
+) -> std::io::Result<(EdgeListGraph, std::path::PathBuf)> {
+    let es: Vec<Edge> = edges.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+    let f = env.file_from_slice(&format!("{name}-edges"), &es)?;
+    let g = EdgeListGraph::new(f, n);
+    let reps = tarjan_scc(&CsrGraph::from_edges(n, &es)).canonical_reps();
+    let labs: Vec<SccLabel> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| SccLabel::new(i as u32, r))
+        .collect();
+    let lf = env.file_from_slice(&format!("{name}-labs"), &labs)?;
+    let counted = condense_counted(env, &g, &lf)?;
+    let path = env.root().join(format!("{name}.sccidx"));
+    SccIndex::build(env, &path, &lf, n, Some(&counted))?;
+    Ok((g, path))
+}
+
+/// The logical I/O floor of a from-scratch rebuild for `edges`: write the
+/// label file, recount the condensation, materialize the artifact — with
+/// the SCC computation itself done for free in memory. Any real rebuild
+/// pays at least this.
+fn rebuild_floor(name: &str, n: u64, edges: &[(u32, u32)]) -> std::io::Result<u64> {
+    let env = DiskEnv::new_temp(IoConfig::new(BLOCK, 16 << 20))?;
+    let es: Vec<Edge> = edges.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+    let f = env.file_from_slice(&format!("{name}-rebuild-edges"), &es)?;
+    let g = EdgeListGraph::new(f, n);
+    let reps = tarjan_scc(&CsrGraph::from_edges(n, &es)).canonical_reps();
+    let before = env.stats().snapshot();
+    let labs: Vec<SccLabel> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| SccLabel::new(i as u32, r))
+        .collect();
+    let lf = env.file_from_slice(&format!("{name}-rebuild-labs"), &labs)?;
+    let counted = condense_counted(&env, &g, &lf)?;
+    SccIndex::build(&env, &env.root().join(format!("{name}-rebuild.sccidx")), &lf, n, Some(&counted))?;
+    Ok(env.stats().snapshot().since(&before).total_ios())
+}
+
+fn main() -> std::io::Result<()> {
+    let mut tag = String::new();
+    let mut out_dir = String::from(".");
+    let mut reps = 3usize;
+    let mut updates = 300u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--tag" => tag = value("--tag"),
+            "--out" => out_dir = value("--out"),
+            "--reps" => {
+                reps = value("--reps").parse().unwrap_or_else(|_| {
+                    eprintln!("--reps needs a positive integer\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--updates" => {
+                updates = value("--updates").parse().unwrap_or_else(|_| {
+                    eprintln!("--updates needs a positive integer\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if tag.is_empty() || reps == 0 || updates == 0 {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    std::fs::create_dir_all(&out_dir)?;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"tag\": \"{}\",", json_escape(&tag)).unwrap();
+    writeln!(json, "  \"kind\": \"deltas\",").unwrap();
+    writeln!(json, "  \"block_size\": {BLOCK},").unwrap();
+    writeln!(json, "  \"host_block_size\": {},", host_block_size(&out_dir)).unwrap();
+    writeln!(json, "  \"host_cpus\": {host_cpus},").unwrap();
+    writeln!(json, "  \"n_updates\": {updates},").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
+    writeln!(json, "  \"cells\": [").unwrap();
+
+    let fams = families();
+    for (fi, fam) in fams.iter().enumerate() {
+        // Median wall across fresh repetitions; logical I/O must be
+        // identical across them (the stream and the pricing are both
+        // deterministic).
+        let mut cells = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (cell, fin) = run_family(fam, updates, 0x9e37_79b9)?;
+            if let Some(prev) = cells.last() {
+                let prev: &(Cell, Vec<(u32, u32)>) = prev;
+                assert_eq!(
+                    prev.0.total_ios, cell.total_ios,
+                    "{}: logical I/O must be deterministic across reps",
+                    fam.name
+                );
+            }
+            cells.push((cell, fin));
+        }
+        cells.sort_by_key(|(c, _)| c.wall);
+        let (cell, fin) = &cells[reps / 2];
+        let rebuild = rebuild_floor(fam.name, fam.n, fin)?;
+        let wall_ms = cell.wall.as_secs_f64() * 1e3;
+        let ups = cell.updates as f64 / cell.wall.as_secs_f64().max(1e-9);
+        let per_update = cell.total_ios as f64 / cell.updates as f64;
+        eprintln!(
+            "{:<13} {} updates ({} add / {} remove, {} merges): {:.0} updates/s, \
+             {:.1} I/Os per update vs {} to rebuild",
+            fam.name, cell.updates, cell.adds, cell.removes, cell.merges, ups, per_update,
+            rebuild
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"family\": \"{}\",", cell.family).unwrap();
+        writeln!(json, "      \"n_nodes\": {},", cell.n_nodes).unwrap();
+        writeln!(json, "      \"updates\": {},", cell.updates).unwrap();
+        writeln!(json, "      \"adds\": {},", cell.adds).unwrap();
+        writeln!(json, "      \"removes\": {},", cell.removes).unwrap();
+        writeln!(json, "      \"merges\": {},", cell.merges).unwrap();
+        writeln!(json, "      \"updates_per_sec\": {ups:.1},").unwrap();
+        writeln!(json, "      \"total_ios\": {},", cell.total_ios).unwrap();
+        writeln!(json, "      \"ios_per_update\": {per_update:.2},").unwrap();
+        writeln!(json, "      \"rebuild_ios\": {rebuild},").unwrap();
+        writeln!(json, "      \"wall_ms\": {wall_ms:.3}").unwrap();
+        writeln!(json, "    }}{}", if fi + 1 < fams.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let path = std::path::Path::new(&out_dir).join(format!("BENCH_{tag}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    f.flush()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

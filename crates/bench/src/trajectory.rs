@@ -184,6 +184,74 @@ pub fn parse_qps_cells(json: &str) -> Vec<QpsCell> {
     cells
 }
 
+/// One per-family delta-maintenance measurement from a `bench_deltas`
+/// file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaCell {
+    /// Workload family (`cycle-stitch`, `churn`, `grow-cut`).
+    pub family: String,
+    /// Single-edge updates driven through the delta engine.
+    pub updates: u64,
+    /// Cycle-creating merges the stream performed.
+    pub merges: u64,
+    /// Median updates per second (wall-clock).
+    pub updates_per_sec: f64,
+    /// Mean logical I/Os per update (deterministic).
+    pub ios_per_update: f64,
+    /// Logical I/O floor of a from-scratch rebuild of the final graph —
+    /// the number `ios_per_update` must stay far below.
+    pub rebuild_ios: u64,
+    /// Median wall time of the whole stream in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Extracts every family cell from a `bench_deltas`-shaped file. Same
+/// line-oriented contract as [`parse_cells`]: unknown lines are skipped,
+/// a cell is closed by its `wall_ms` line. The `updates > 0` guard keeps
+/// engine-trajectory and qps files (which also close cells on `wall_ms`)
+/// from parsing as delta cells.
+pub fn parse_delta_cells(json: &str) -> Vec<DeltaCell> {
+    let mut cells = Vec::new();
+    let mut family = String::new();
+    let mut updates = 0u64;
+    let mut merges = 0u64;
+    let mut updates_per_sec = f64::NAN;
+    let mut ios_per_update = f64::NAN;
+    let mut rebuild_ios = 0u64;
+    for line in json.lines() {
+        let t = line.trim_start();
+        if t.starts_with("\"family\"") {
+            family = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"updates\"") {
+            updates = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"merges\"") {
+            merges = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"updates_per_sec\"") {
+            updates_per_sec = num_field(t).unwrap_or(f64::NAN);
+        } else if t.starts_with("\"ios_per_update\"") {
+            ios_per_update = num_field(t).unwrap_or(f64::NAN);
+        } else if t.starts_with("\"rebuild_ios\"") {
+            rebuild_ios = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"wall_ms\"") && updates > 0 {
+            cells.push(DeltaCell {
+                family: std::mem::take(&mut family),
+                updates,
+                merges,
+                updates_per_sec,
+                ios_per_update,
+                rebuild_ios,
+                wall_ms: num_field(t).unwrap_or(f64::NAN),
+            });
+            updates = 0;
+            merges = 0;
+            updates_per_sec = f64::NAN;
+            ios_per_update = f64::NAN;
+            rebuild_ios = 0;
+        }
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +370,62 @@ mod tests {
     fn qps_parser_ignores_engine_trajectory_files() {
         assert!(parse_qps_cells(SAMPLE).is_empty());
         assert_eq!(parse_host_cpus(SAMPLE), None);
+    }
+
+    const DELTA_SAMPLE: &str = r#"{
+  "tag": "pr9",
+  "kind": "deltas",
+  "block_size": 4096,
+  "host_cpus": 2,
+  "n_updates": 300,
+  "cells": [
+    {
+      "family": "cycle-stitch",
+      "n_nodes": 20000,
+      "updates": 300,
+      "adds": 248,
+      "removes": 52,
+      "merges": 2,
+      "updates_per_sec": 1062.0,
+      "total_ios": 1800,
+      "ios_per_update": 6.00,
+      "rebuild_ios": 575,
+      "wall_ms": 282.000
+    },
+    {
+      "family": "churn",
+      "n_nodes": 20000,
+      "updates": 300,
+      "adds": 176,
+      "removes": 124,
+      "merges": 48,
+      "updates_per_sec": 151.0,
+      "total_ios": 10290,
+      "ios_per_update": 34.30,
+      "rebuild_ios": 891,
+      "wall_ms": 1986.000
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_delta_cells() {
+        let cells = parse_delta_cells(DELTA_SAMPLE);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].family, "cycle-stitch");
+        assert_eq!(cells[0].updates, 300);
+        assert_eq!(cells[0].merges, 2);
+        assert_eq!(cells[0].ios_per_update, 6.0);
+        assert_eq!(cells[0].rebuild_ios, 575);
+        assert_eq!(cells[1].family, "churn");
+        assert_eq!(cells[1].updates_per_sec, 151.0);
+        assert_eq!(cells[1].wall_ms, 1986.0);
+    }
+
+    #[test]
+    fn delta_parser_ignores_other_trajectory_files() {
+        assert!(parse_delta_cells(SAMPLE).is_empty());
+        assert!(parse_delta_cells(QPS_SAMPLE).is_empty());
     }
 }

@@ -217,6 +217,17 @@ impl DiskEnv {
         &self.inner.pager
     }
 
+    /// Forgets any pager state for `path` — its interned file id and every
+    /// cached frame — **without touching the file on disk**. Needed when a
+    /// file is replaced behind the pager (the delta engine's atomic
+    /// generation swap does a tmp copy + `rename(2)` at the filesystem
+    /// level): without eviction, later opens of the same path would be
+    /// served the interned pre-swap inode. Any frames the caller still
+    /// needs must be synced first; unknown paths are a no-op.
+    pub fn evict(&self, path: &Path) {
+        self.inner.pager.forget(path);
+    }
+
     /// Root directory of the scratch space (a virtual namespace prefix for
     /// the in-memory backend).
     pub fn root(&self) -> &Path {

@@ -36,82 +36,174 @@
 //! path no matter how many readers run concurrently — both handles answer
 //! through the same query and validation code over one block-read seam.
 //!
-//! ## On-disk layout (version 1, all integers little-endian)
+//! ## On-disk layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! page 0         header: magic "CESI", version, page size, counts,
-//!                section offsets, payload checksum, header checksum
+//!                section offsets, generation, checksums, header checksum
 //! labels_off     rep[u]: u32 per node, node order, page-padded
 //! sizes_off      (rep: u32, pad: u32, size: u64) per component,
 //!                sorted by rep, page-padded
-//! dag_off        condensation edges (src: u32, dst: u32), page-padded
-//!                (absent when dag_off == 0)
+//! dag_off        condensation edges (src: u32, dst: u32, count: u32),
+//!                page-padded (absent when dag_off == 0); `count` is the
+//!                number of base-graph edge instances crossing the
+//!                component pair. Builds write the records sorted by
+//!                (src, dst); delta generations may append past the sorted
+//!                prefix and leave `count == 0` tombstones, both folded
+//!                back into sorted form by the next merge or compact
+//! dirty_off      dirty component representatives (u32, ascending),
+//!                page-padded — components whose partition must be
+//!                re-verified by the delta engine before it is exact
 //! ```
 //!
 //! The page size is the building environment's block size, so sections are
-//! block-aligned for the device that wrote them. The payload checksum
-//! (FNV-1a 64) covers every byte from the first section to the end of the
-//! file — padding included — and the header carries its own checksum, so a
-//! flipped byte anywhere that could influence an answer is rejected at
-//! [`SccIndex::open`] with a checksum error instead of producing garbage.
+//! block-aligned for the device that wrote them.
+//!
+//! ## Generations and the version-2 format bump
+//!
+//! Version 1 was write-once: one monolithic payload checksum over every
+//! byte of the file, recomputable only by streaming the whole artifact.
+//! Version 2 exists because PR 9's delta engine ([`crate::delta`])
+//! introduces the repo's first *write-after-build* path, and three format
+//! properties make localized updates possible:
+//!
+//! * **Generation counter** (header word 13). Every successful
+//!   [`delta::DeltaEngine::apply`](crate::delta::DeltaEngine::apply) or
+//!   `compact` writes a complete new artifact *file* — fork the current
+//!   one, patch the touched pages, bump the generation, atomically
+//!   `rename(2)` over the old path. Readers that opened generation `g`
+//!   keep their file descriptor to the old inode and never observe a torn
+//!   index; a crash mid-update leaves the previous generation at the path
+//!   untouched. [`SccIndex::generation`] exposes the counter.
+//! * **Per-page checksums for the patched sections.** The labels section
+//!   is covered by `labels_xor`: the XOR over label pages of
+//!   `FNV-1a(page_index ‖ page bytes)`. Patching one label page updates
+//!   the checksum in `O(1)` (XOR the old page's hash out, the new page's
+//!   hash in) instead of re-streaming `O(n)` bytes — this is what lets a
+//!   component merge rewrite *only* the pages owning affected nodes. The
+//!   DAG section uses the same scheme (`dag_xor`), because the delta
+//!   engine both patches records in place (reinforcing or weakening a
+//!   `count`, tombstoning at zero) and appends new records at the tail —
+//!   either touches one or two pages and costs an `O(1)` checksum update,
+//!   which is what keeps a metadata-only edge insert at `O(1)` page
+//!   writes.
+//! * **Per-section record checksums for the rewritten sections.** The size
+//!   table and dirty section are never patched in place — they are small
+//!   and rewritten wholesale when they change — so each carries a plain
+//!   running FNV-1a over *record* bytes (`sizes_fnv`, `dirty_fnv`). Their
+//!   page padding is excluded (it can never influence an answer); the
+//!   labels and DAG sections cover padding because they hash whole pages.
+//!
+//! The header additionally records the length and running checksum of the
+//! **journal sidecar** (`<artifact>.dlog`, see [`crate::delta`]): the
+//! append-only log of delta operations since the build. The sidecar is
+//! *not* read by plain query handles — only the delta engine needs it (to
+//! reconstruct the current edge multiset when lazily re-verifying a dirty
+//! component) — and the header's `(n_journal, journal_fnv)` pair
+//! authenticates exactly the prefix belonging to this generation, so bytes
+//! a crashed update appended past it are ignored on reopen.
+//!
+//! A flipped byte in the header, a label page, or any record of the sizes /
+//! DAG / dirty sections is rejected at [`SccIndex::open`] with a checksum
+//! or geometry error instead of producing garbage.
 
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use ce_extmem::file::CountedFile;
 use ce_extmem::{sort_streaming_by_key, DiskEnv, ExtFile, SharedFile, SortedStream};
 
-use crate::types::{Edge, NodeId, SccLabel};
+use crate::types::{CountedEdge, Edge, NodeId, SccLabel};
 
 /// Magic bytes of the index format.
 const MAGIC: &[u8; 4] = b"CESI";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version (2: generations + delta maintenance; see the
+/// module docs for what changed relative to version 1).
+const VERSION: u32 = 2;
 /// Serialized header length in bytes (the rest of page 0 is zero padding).
-const HEADER_LEN: usize = 80;
+pub(crate) const HEADER_LEN: usize = 144;
 /// Bytes per entry of the component-size table.
-const SIZE_ENTRY: u64 = 16;
+pub(crate) const SIZE_ENTRY: u64 = 16;
+/// Bytes per stored condensation edge (src, dst, count).
+pub(crate) const DAG_ENTRY: u64 = 12;
+/// Bytes per dirty-component entry (one representative id).
+pub(crate) const DIRTY_ENTRY: u64 = 4;
+/// Bytes per journal sidecar record (tag, src, dst).
+pub(crate) const JOURNAL_ENTRY: u64 = 12;
 /// Geometry sanity bounds enforced at open (see [`open_checked`]).
 const MAX_PAGE: u64 = 1 << 31;
 const MAX_NODES: u64 = (u32::MAX as u64) + 1;
 const MAX_DAG_EDGES: u64 = 1 << 40;
 
-/// FNV-1a 64-bit, the workspace's dependency-free checksum.
+/// FNV-1a 64-bit, the workspace's dependency-free checksum. The state *is*
+/// the digest (no finalization), which the v2 format exploits: a stored
+/// section checksum can be resumed to cover appended records.
 #[derive(Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    /// Resumes from a stored running state.
+    pub(crate) fn from_state(state: u64) -> Fnv {
+        Fnv(state)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
     }
 }
 
+/// Hash of one labels-section page: FNV-1a over the section-relative page
+/// index followed by the full page bytes (padding included). The labels
+/// checksum is the XOR of these over all label pages, so patching one page
+/// is an `O(1)` checksum update and pages cannot be swapped undetected.
+pub(crate) fn page_hash(page_idx: u64, bytes: &[u8]) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.update(&page_idx.to_le_bytes());
+    fnv.update(bytes);
+    fnv.finish()
+}
+
+/// Journal sidecar path: `<artifact>.dlog` next to the artifact.
+pub(crate) fn journal_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".dlog");
+    path.with_file_name(name)
+}
+
 /// Parsed header of an open index.
 #[derive(Debug, Clone, Copy)]
-struct Header {
-    page_size: u64,
-    n_nodes: u64,
-    n_sccs: u64,
-    labels_off: u64,
-    sizes_off: u64,
-    dag_off: u64,
-    n_dag_edges: u64,
-    payload_fnv: u64,
+pub(crate) struct Header {
+    pub(crate) page_size: u64,
+    pub(crate) n_nodes: u64,
+    pub(crate) n_sccs: u64,
+    pub(crate) labels_off: u64,
+    pub(crate) sizes_off: u64,
+    pub(crate) dag_off: u64,
+    pub(crate) n_dag_edges: u64,
+    pub(crate) labels_xor: u64,
+    pub(crate) sizes_fnv: u64,
+    pub(crate) dag_xor: u64,
+    pub(crate) dirty_off: u64,
+    pub(crate) n_dirty: u64,
+    pub(crate) dirty_fnv: u64,
+    pub(crate) generation: u64,
+    pub(crate) n_journal: u64,
+    pub(crate) journal_fnv: u64,
 }
 
 impl Header {
-    fn encode(&self) -> [u8; HEADER_LEN] {
+    pub(crate) fn encode(&self) -> [u8; HEADER_LEN] {
         let mut buf = [0u8; HEADER_LEN];
         buf[0..4].copy_from_slice(MAGIC);
         buf[4..8].copy_from_slice(&VERSION.to_le_bytes());
@@ -123,7 +215,15 @@ impl Header {
             self.sizes_off,
             self.dag_off,
             self.n_dag_edges,
-            self.payload_fnv,
+            self.labels_xor,
+            self.sizes_fnv,
+            self.dag_xor,
+            self.dirty_off,
+            self.n_dirty,
+            self.dirty_fnv,
+            self.generation,
+            self.n_journal,
+            self.journal_fnv,
         ]
         .iter()
         .enumerate()
@@ -136,13 +236,16 @@ impl Header {
         buf
     }
 
-    fn decode(buf: &[u8; HEADER_LEN]) -> io::Result<Header> {
+    pub(crate) fn decode(buf: &[u8; HEADER_LEN]) -> io::Result<Header> {
         if &buf[0..4] != MAGIC {
             return Err(bad("not an SCC index (bad magic)"));
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         if version != VERSION {
-            return Err(bad(&format!("unsupported index version {version}")));
+            return Err(bad(&format!(
+                "unsupported index version {version} (this build reads version {VERSION}; \
+                 rebuild the artifact with `scc index build`)"
+            )));
         }
         let mut fnv = Fnv::new();
         fnv.update(&buf[..HEADER_LEN - 8]);
@@ -159,83 +262,111 @@ impl Header {
             sizes_off: word(4),
             dag_off: word(5),
             n_dag_edges: word(6),
-            payload_fnv: word(7),
+            labels_xor: word(7),
+            sizes_fnv: word(8),
+            dag_xor: word(9),
+            dirty_off: word(10),
+            n_dirty: word(11),
+            dirty_fnv: word(12),
+            generation: word(13),
+            n_journal: word(14),
+            journal_fnv: word(15),
         })
     }
 
     /// Total file length implied by the header (every section page-padded).
-    fn file_len(&self) -> u64 {
-        let tail = if self.dag_off != 0 {
-            self.dag_off + 8 * self.n_dag_edges
-        } else {
-            self.sizes_off + SIZE_ENTRY * self.n_sccs
-        };
-        align_up(tail, self.page_size)
+    pub(crate) fn file_len(&self) -> u64 {
+        align_up(self.dirty_off + DIRTY_ENTRY * self.n_dirty, self.page_size)
+    }
+
+    /// Number of pages in the labels section.
+    pub(crate) fn label_pages(&self) -> u64 {
+        (self.sizes_off - self.labels_off) / self.page_size
     }
 }
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("scc index: {msg}"))
 }
 
-fn align_up(v: u64, page: u64) -> u64 {
+pub(crate) fn align_up(v: u64, page: u64) -> u64 {
     v.div_ceil(page) * page
 }
 
+/// What [`SectionWriter::finish`] hands back: the offset just past the
+/// padded section, the running FNV over record bytes, and the XOR of
+/// per-page hashes (padding included).
+struct SectionDigest {
+    end: u64,
+    fnv: u64,
+    xor: u64,
+}
+
 /// Section writer: buffers records into page-sized chunks, writes them
-/// sequentially through the [`CountedFile`], and folds every byte (padding
-/// included) into the payload checksum.
+/// sequentially through the [`CountedFile`], and maintains both v2 digests
+/// (record-byte FNV and per-page XOR; each section keeps whichever the
+/// format assigns to it).
 struct SectionWriter<'a> {
     file: &'a mut CountedFile,
-    fnv: &'a mut Fnv,
     page: usize,
+    start: u64,
     at: u64,
     buf: Vec<u8>,
+    fnv: Fnv,
+    xor: u64,
 }
 
 impl<'a> SectionWriter<'a> {
-    fn new(file: &'a mut CountedFile, fnv: &'a mut Fnv, page: usize, start: u64) -> Self {
+    fn new(file: &'a mut CountedFile, page: usize, start: u64) -> Self {
         SectionWriter {
             file,
-            fnv,
             page,
+            start,
             at: start,
             buf: Vec::with_capacity(page),
+            fnv: Fnv::new(),
+            xor: 0,
         }
     }
 
     fn push(&mut self, bytes: &[u8]) -> io::Result<()> {
         debug_assert!(bytes.len() <= self.page, "records never span two flushes");
+        self.fnv.update(bytes);
         self.buf.extend_from_slice(bytes);
-        if self.buf.len() >= self.page {
-            let page = self.buf.len() - self.buf.len() % self.page;
-            self.file.write_at(self.at, &self.buf[..page])?;
-            self.fnv.update(&self.buf[..page]);
-            self.at += page as u64;
-            self.buf.drain(..page);
+        while self.buf.len() >= self.page {
+            let page_idx = (self.at - self.start) / self.page as u64;
+            self.file.write_at(self.at, &self.buf[..self.page])?;
+            self.xor ^= page_hash(page_idx, &self.buf[..self.page]);
+            self.at += self.page as u64;
+            self.buf.drain(..self.page);
         }
         Ok(())
     }
 
-    /// Pads the tail to a page boundary and flushes it. Returns the offset
-    /// just past the padded section.
-    fn finish(mut self) -> io::Result<u64> {
+    /// Pads the tail to a page boundary and flushes it.
+    fn finish(mut self) -> io::Result<SectionDigest> {
         if !self.buf.is_empty() {
             self.buf.resize(self.page, 0);
+            let page_idx = (self.at - self.start) / self.page as u64;
             self.file.write_at(self.at, &self.buf)?;
-            self.fnv.update(&self.buf);
+            self.xor ^= page_hash(page_idx, &self.buf);
             self.at += self.page as u64;
         }
-        Ok(self.at)
+        Ok(SectionDigest {
+            end: self.at,
+            fnv: self.fnv.finish(),
+            xor: self.xor,
+        })
     }
 }
 
 /// The block-read seam both index handles answer through: the owned
 /// [`SccIndex`] reads via its environment's [`CountedFile`], the concurrent
 /// [`SccIndexReader`] via a [`SharedFile`] clone. Everything above this
-/// trait — open-time validation, every query — is written once against it,
-/// so the two paths cannot drift in answers *or* in logical I/O pricing.
-trait IndexIo {
+/// trait — open-time validation, every query, every section iterator — is
+/// written once against it, so the two paths cannot drift in answers *or*
+/// in logical I/O pricing.
+pub(crate) trait IndexIo {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
     fn len_bytes(&self) -> io::Result<u64>;
 }
@@ -250,9 +381,19 @@ impl IndexIo for CountedFile {
     }
 }
 
+impl IndexIo for &mut CountedFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        CountedFile::read_at(self, offset, buf)
+    }
+
+    fn len_bytes(&self) -> io::Result<u64> {
+        CountedFile::len_bytes(self)
+    }
+}
+
 /// Adapter giving a `&SharedFile` the `&mut`-shaped seam (its reads are
 /// interior-mutable already).
-struct SharedIo<'a>(&'a SharedFile);
+pub(crate) struct SharedIo<'a>(pub(crate) &'a SharedFile);
 
 impl IndexIo for SharedIo<'_> {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
@@ -266,18 +407,46 @@ impl IndexIo for SharedIo<'_> {
 
 /// Reads exactly `buf.len()` bytes at `offset` or fails with a truncation
 /// error naming `what`.
-fn read_exact_at(io: &mut dyn IndexIo, offset: u64, buf: &mut [u8], what: &str) -> io::Result<()> {
+pub(crate) fn read_exact_at(
+    io: &mut dyn IndexIo,
+    offset: u64,
+    buf: &mut [u8],
+    what: &str,
+) -> io::Result<()> {
     if io.read_at(offset, buf)? != buf.len() {
         return Err(bad(&format!("{what} truncated")));
     }
     Ok(())
 }
 
-/// Reads the header and validates magic, version, geometry and the payload
-/// checksum — the whole open-time protocol, shared verbatim by
+/// Streams `bytes` record bytes from `start` in page-size chunks, folding
+/// them into an FNV — the open-time validation pass for record-checksummed
+/// sections (padding excluded; see the module docs).
+fn stream_fnv(
+    io: &mut dyn IndexIo,
+    start: u64,
+    bytes: u64,
+    page: u64,
+    what: &str,
+) -> io::Result<u64> {
+    let mut fnv = Fnv::new();
+    let mut chunk = vec![0u8; page as usize];
+    let mut at = start;
+    let end = start + bytes;
+    while at < end {
+        let take = ((end - at) as usize).min(chunk.len());
+        read_exact_at(io, at, &mut chunk[..take], what)?;
+        fnv.update(&chunk[..take]);
+        at += take as u64;
+    }
+    Ok(fnv.finish())
+}
+
+/// Reads the header and validates magic, version, geometry and every
+/// section checksum — the whole open-time protocol, shared verbatim by
 /// [`SccIndex::open`] and [`SccIndex::open_shared`] so both handles reject
 /// exactly the same corruptions at exactly the same logical I/O cost.
-fn open_checked(io: &mut dyn IndexIo) -> io::Result<Header> {
+pub(crate) fn open_checked(io: &mut dyn IndexIo) -> io::Result<Header> {
     let mut buf = [0u8; HEADER_LEN];
     if io.read_at(0, &mut buf)? != HEADER_LEN {
         return Err(bad("file too short for a header"));
@@ -294,13 +463,21 @@ fn open_checked(io: &mut dyn IndexIo) -> io::Result<Header> {
         || hdr.n_nodes > MAX_NODES
         || hdr.n_sccs > hdr.n_nodes
         || hdr.n_dag_edges > MAX_DAG_EDGES
+        || hdr.n_dirty > hdr.n_sccs
     {
         return Err(bad("implausible header geometry"));
     }
+    let sizes_end = hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs;
+    let dirty_expect = if hdr.dag_off != 0 {
+        align_up(hdr.dag_off + DAG_ENTRY * hdr.n_dag_edges, page)
+    } else {
+        align_up(sizes_end, page)
+    };
     if hdr.labels_off != align_up(HEADER_LEN as u64, page)
         || hdr.sizes_off != align_up(hdr.labels_off + 4 * hdr.n_nodes, page)
-        || (hdr.dag_off != 0
-            && hdr.dag_off != align_up(hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs, page))
+        || (hdr.dag_off == 0 && hdr.n_dag_edges != 0)
+        || (hdr.dag_off != 0 && hdr.dag_off != align_up(sizes_end, page))
+        || hdr.dirty_off != dirty_expect
     {
         return Err(bad("inconsistent section geometry"));
     }
@@ -311,22 +488,46 @@ fn open_checked(io: &mut dyn IndexIo) -> io::Result<Header> {
             io.len_bytes()?
         )));
     }
-    let mut fnv = Fnv::new();
+    // Labels: XOR of per-page hashes (whole pages, padding included).
+    let mut xor = 0u64;
     let mut chunk = vec![0u8; page as usize];
-    let mut at = hdr.labels_off;
-    while at < want_len {
-        let take = ((want_len - at) as usize).min(chunk.len());
-        read_exact_at(io, at, &mut chunk[..take], "payload")?;
-        fnv.update(&chunk[..take]);
-        at += take as u64;
+    for p in 0..hdr.label_pages() {
+        read_exact_at(io, hdr.labels_off + p * page, &mut chunk, "labels section")?;
+        xor ^= page_hash(p, &chunk);
     }
-    if fnv.finish() != hdr.payload_fnv {
-        return Err(bad("payload checksum mismatch"));
+    if xor != hdr.labels_xor {
+        return Err(bad("labels checksum mismatch"));
+    }
+    // Record-checksummed sections.
+    if stream_fnv(io, hdr.sizes_off, SIZE_ENTRY * hdr.n_sccs, page, "size table")?
+        != hdr.sizes_fnv
+    {
+        return Err(bad("size table checksum mismatch"));
+    }
+    if hdr.dag_off != 0 {
+        // Like labels, the DAG section is validated per whole page (it is
+        // patched in place by the delta engine, so it carries the XOR
+        // scheme; padding included).
+        let dag_pages = (align_up(hdr.dag_off + DAG_ENTRY * hdr.n_dag_edges, page) - hdr.dag_off)
+            / page;
+        let mut xor = 0u64;
+        for p in 0..dag_pages {
+            read_exact_at(io, hdr.dag_off + p * page, &mut chunk, "dag section")?;
+            xor ^= page_hash(p, &chunk);
+        }
+        if xor != hdr.dag_xor {
+            return Err(bad("dag section checksum mismatch"));
+        }
+    }
+    if stream_fnv(io, hdr.dirty_off, DIRTY_ENTRY * hdr.n_dirty, page, "dirty section")?
+        != hdr.dirty_fnv
+    {
+        return Err(bad("dirty section checksum mismatch"));
     }
     Ok(hdr)
 }
 
-fn check_node(hdr: &Header, u: NodeId) -> io::Result<()> {
+pub(crate) fn check_node(hdr: &Header, u: NodeId) -> io::Result<()> {
     if u as u64 >= hdr.n_nodes {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -337,7 +538,7 @@ fn check_node(hdr: &Header, u: NodeId) -> io::Result<()> {
 }
 
 /// `component_of`: one 4-byte read, one logical block.
-fn lookup_rep(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<NodeId> {
+pub(crate) fn lookup_rep(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<NodeId> {
     check_node(hdr, u)?;
     let mut buf = [0u8; 4];
     read_exact_at(io, hdr.labels_off + 4 * u as u64, &mut buf, "labels section")?;
@@ -345,7 +546,7 @@ fn lookup_rep(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<NodeI
 }
 
 /// Label page (block of the labels section) holding node `u`'s entry.
-fn label_page(hdr: &Header, u: NodeId) -> u64 {
+pub(crate) fn label_page(hdr: &Header, u: NodeId) -> u64 {
     (4 * u as u64) / hdr.page_size
 }
 
@@ -372,7 +573,11 @@ fn lookup_same(io: &mut dyn IndexIo, hdr: &Header, u: NodeId, v: NodeId) -> io::
 /// spent on a batch that fails), then answers in ascending node order so
 /// the `k` queries that land on one label page cost exactly one page read.
 /// Results come back in input order.
-fn lookup_many(io: &mut dyn IndexIo, hdr: &Header, nodes: &[NodeId]) -> io::Result<Vec<NodeId>> {
+pub(crate) fn lookup_many(
+    io: &mut dyn IndexIo,
+    hdr: &Header,
+    nodes: &[NodeId],
+) -> io::Result<Vec<NodeId>> {
     for &u in nodes {
         check_node(hdr, u)?;
     }
@@ -405,7 +610,7 @@ fn read_size_entry(io: &mut dyn IndexIo, hdr: &Header, i: u64) -> io::Result<(No
 
 /// `component_size`: one label read plus an `O(log n_sccs)` binary search
 /// over the on-disk size table.
-fn lookup_size(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<u64> {
+pub(crate) fn lookup_size(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<u64> {
     let rep = lookup_rep(io, hdr, u)?;
     let (mut lo, mut hi) = (0u64, hdr.n_sccs);
     while lo < hi {
@@ -418,6 +623,33 @@ fn lookup_size(io: &mut dyn IndexIo, hdr: &Header, u: NodeId) -> io::Result<u64>
         }
     }
     Err(bad(&format!("representative {rep} missing from the size table")))
+}
+
+/// Sniffs the page size of an artifact with one raw, **uncounted** header
+/// peek (magic, version and header checksum are validated; nothing else
+/// is). Callers that must match an environment's block size to an existing
+/// artifact — `scc index apply` / `scc index compact` — use this before
+/// constructing the environment.
+pub fn sniff_page_size(path: &Path) -> io::Result<u64> {
+    let mut raw = [0u8; HEADER_LEN];
+    {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(path)?;
+        let mut done = 0;
+        while done < HEADER_LEN {
+            match f.read(&mut raw[done..]) {
+                Ok(0) => return Err(bad("file too short for a header")),
+                Ok(k) => done += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let page = Header::decode(&raw)?.page_size;
+    if page == 0 || page > MAX_PAGE {
+        return Err(bad("implausible header geometry"));
+    }
+    Ok(page)
 }
 
 /// A reopened SCC index. See the module docs for the format and the I/O
@@ -435,6 +667,7 @@ impl std::fmt::Debug for SccIndex {
             .field("n_sccs", &self.hdr.n_sccs)
             .field("n_dag_edges", &self.hdr.n_dag_edges)
             .field("page_size", &self.hdr.page_size)
+            .field("generation", &self.hdr.generation)
             .finish()
     }
 }
@@ -442,21 +675,22 @@ impl std::fmt::Debug for SccIndex {
 impl SccIndex {
     /// Builds the on-disk artifact at `path` from a dense node-sorted label
     /// file (the canonical output of every [`crate::algo::SccAlgorithm`])
-    /// and, optionally, a condensation DAG edge file (as produced by
-    /// [`crate::labels::condense_external`]). Returns the number of
-    /// distinct components written.
+    /// and, optionally, a counted condensation DAG edge file (as produced
+    /// by [`crate::labels::condense_counted`]). Returns the number of
+    /// distinct components written. The artifact starts at generation 0
+    /// with empty dirty and journal sections.
     ///
     /// The file at `path` is created on the real filesystem regardless of
-    /// the environment's backend, truncating any previous artifact; all
-    /// bytes flow through the environment's pager and logical I/O counters.
-    /// One external sort of the label file (by representative) derives the
-    /// component-size table.
+    /// the environment's backend, truncating any previous artifact (and any
+    /// stale journal sidecar next to it); all bytes flow through the
+    /// environment's pager and logical I/O counters. One external sort of
+    /// the label file (by representative) derives the component-size table.
     pub fn build(
         env: &DiskEnv,
         path: &Path,
         labels: &ExtFile<SccLabel>,
         n_nodes: u64,
-        dag: Option<&ExtFile<Edge>>,
+        dag: Option<&ExtFile<CountedEdge>>,
     ) -> io::Result<u64> {
         if labels.len() != n_nodes {
             return Err(bad(&format!(
@@ -467,13 +701,12 @@ impl SccIndex {
         let _sp = ce_extmem::io_span!(env, "index_build", nodes = n_nodes);
         let page = env.config().block_size as u64;
         let mut file = CountedFile::create_persistent(env, path)?;
-        let mut fnv = Fnv::new();
 
         // Section 1: node -> representative, u32 per node in node order.
         // (Page-aligned; multiple header pages when the block size is
         // smaller than the header.)
         let labels_off = align_up(HEADER_LEN as u64, page);
-        let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, labels_off);
+        let mut w = SectionWriter::new(&mut file, page as usize, labels_off);
         let mut r = labels.reader()?;
         let mut expected = 0u64;
         while let Some(l) = r.next()? {
@@ -483,14 +716,15 @@ impl SccIndex {
             w.push(&l.scc.to_le_bytes())?;
             expected += 1;
         }
-        let sizes_off = w.finish()?;
+        let labels_digest = w.finish()?;
+        let sizes_off = labels_digest.end;
 
         // Section 2: (rep, size) per component, sorted by rep — the
         // external sort of the labels streams its final merge straight into
         // the run-length scan (no by-rep file is written).
         let mut by_rep = sort_streaming_by_key(env, labels, "idx-by-rep", |l: &SccLabel| l.scc)?
             .into_stream()?;
-        let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, sizes_off);
+        let mut w = SectionWriter::new(&mut file, page as usize, sizes_off);
         let mut n_sccs = 0u64;
         let entry = |w: &mut SectionWriter<'_>, rep: NodeId, size: u64| -> io::Result<()> {
             let mut e = [0u8; SIZE_ENTRY as usize];
@@ -514,26 +748,30 @@ impl SccIndex {
             entry(&mut w, rep, size)?;
             n_sccs += 1;
         }
-        let after_sizes = w.finish()?;
+        let sizes_digest = w.finish()?;
 
-        // Section 3 (optional): condensation DAG edges.
-        let (dag_off, n_dag_edges) = match dag {
+        // Section 3 (optional): counted condensation DAG edges.
+        let (dag_off, n_dag_edges, dag_xor, after_dag) = match dag {
             Some(edges) => {
-                let mut w = SectionWriter::new(&mut file, &mut fnv, page as usize, after_sizes);
+                let mut w = SectionWriter::new(&mut file, page as usize, sizes_digest.end);
                 let mut r = edges.reader()?;
                 while let Some(e) = r.next()? {
-                    let mut buf = [0u8; 8];
+                    let mut buf = [0u8; DAG_ENTRY as usize];
                     buf[0..4].copy_from_slice(&e.src.to_le_bytes());
                     buf[4..8].copy_from_slice(&e.dst.to_le_bytes());
+                    buf[8..12].copy_from_slice(&e.count.to_le_bytes());
                     w.push(&buf)?;
                 }
-                w.finish()?;
-                (after_sizes, edges.len())
+                let d = w.finish()?;
+                (sizes_digest.end, edges.len(), d.xor, d.end)
             }
-            None => (0, 0),
+            None => (0, 0, 0, sizes_digest.end),
         };
 
-        // Header last, now that the payload checksum is known.
+        // Section 4: dirty components — empty at build.
+        let dirty_off = after_dag;
+
+        // Header last, now that every digest is known.
         let hdr = Header {
             page_size: page,
             n_nodes,
@@ -542,7 +780,15 @@ impl SccIndex {
             sizes_off,
             dag_off,
             n_dag_edges,
-            payload_fnv: fnv.finish(),
+            labels_xor: labels_digest.xor,
+            sizes_fnv: sizes_digest.fnv,
+            dag_xor,
+            dirty_off,
+            n_dirty: 0,
+            dirty_fnv: Fnv::new().finish(),
+            generation: 0,
+            n_journal: 0,
+            journal_fnv: Fnv::new().finish(),
         };
         file.write_at(0, &hdr.encode())?;
         // An all-empty payload leaves the file shorter than the padded
@@ -553,14 +799,22 @@ impl SccIndex {
             file.write_at(have, &vec![0u8; (want - have) as usize])?;
         }
         file.sync()?;
+        // A journal sidecar from an earlier artifact at this path would be
+        // misattributed to the fresh generation-0 index: drop it.
+        match std::fs::remove_file(journal_path(path)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         Ok(n_sccs)
     }
 
     /// Reopens an artifact in `O(1)` memory: reads the header, validates
     /// magic/version/geometry, and streams one checksum pass over the
-    /// payload. A file that was truncated, extended or had any payload byte
-    /// flipped is rejected here with an [`io::ErrorKind::InvalidData`]
-    /// checksum/geometry error — corruption never reaches query answers.
+    /// payload sections. A file that was truncated, extended or had any
+    /// record byte flipped is rejected here with an
+    /// [`io::ErrorKind::InvalidData`] checksum/geometry error — corruption
+    /// never reaches query answers.
     pub fn open(env: &DiskEnv, path: &Path) -> io::Result<SccIndex> {
         let _sp = ce_extmem::io_span!(env, "index_open");
         let mut file = CountedFile::open_read(env, path)?;
@@ -572,7 +826,7 @@ impl SccIndex {
     /// [`SccIndexReader`] whose queries take `&self` and whose clones share
     /// one read-only block pool of `cache_blocks` frames (0 = no caching).
     /// Performs the same validation protocol as [`SccIndex::open`] — header,
-    /// geometry, full payload checksum — at the same logical I/O cost,
+    /// geometry, every section checksum — at the same logical I/O cost,
     /// counted in the reader's own per-handle stats.
     ///
     /// The reader is independent of any [`DiskEnv`]: it prices its logical
@@ -606,6 +860,17 @@ impl SccIndex {
     /// Page size the artifact was built with (the builder's block size).
     pub fn page_size(&self) -> u64 {
         self.hdr.page_size
+    }
+
+    /// Index generation: 0 at build, bumped by every delta engine update
+    /// that replaced the artifact (see the module docs).
+    pub fn generation(&self) -> u64 {
+        self.hdr.generation
+    }
+
+    /// Number of dirty components awaiting delta-engine re-verification.
+    pub fn n_dirty(&self) -> u64 {
+        self.hdr.n_dirty
     }
 
     /// Total artifact size in bytes.
@@ -642,21 +907,53 @@ impl SccIndex {
     /// Streams `(representative, size)` for every component, ascending by
     /// representative — `O(n_sccs / B)` sequential block reads.
     pub fn components(&mut self) -> ComponentsIter<'_> {
-        let (start, total) = (self.hdr.sizes_off, self.hdr.n_sccs);
+        let hdr = self.hdr;
         ComponentsIter {
-            cursor: SectionCursor::new(self, start, SIZE_ENTRY, total),
+            cursor: SectionCursor::new(
+                Box::new(&mut self.file),
+                hdr.page_size,
+                hdr.sizes_off,
+                SIZE_ENTRY,
+                hdr.n_sccs,
+            ),
         }
     }
 
     /// Streams the stored condensation DAG edges (component representatives
-    /// as endpoints). Empty when the artifact was built without a DAG; check
-    /// [`SccIndex::has_condensation`] to distinguish.
+    /// as endpoints, multiplicities dropped). Empty when the artifact was
+    /// built without a DAG; check [`SccIndex::has_condensation`] to
+    /// distinguish.
     pub fn condensation_edges(&mut self) -> DagEdgesIter<'_> {
-        let (start, total) = (self.hdr.dag_off, self.hdr.n_dag_edges);
+        let hdr = self.hdr;
         DagEdgesIter {
-            cursor: SectionCursor::new(self, start, 8, if start == 0 { 0 } else { total }),
+            cursor: dag_cursor(Box::new(&mut self.file), &hdr),
         }
     }
+
+    /// Streams the representatives of dirty components (ascending) — the
+    /// components whose labels are a conservative coarsening until the
+    /// delta engine re-verifies them.
+    pub fn dirty_components(&mut self) -> DirtyIter<'_> {
+        let hdr = self.hdr;
+        DirtyIter {
+            cursor: SectionCursor::new(
+                Box::new(&mut self.file),
+                hdr.page_size,
+                hdr.dirty_off,
+                DIRTY_ENTRY,
+                hdr.n_dirty,
+            ),
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> (CountedFile, Header) {
+        (self.file, self.hdr)
+    }
+}
+
+fn dag_cursor<'a>(io: Box<dyn IndexIo + 'a>, hdr: &Header) -> SectionCursor<'a> {
+    let total = if hdr.dag_off == 0 { 0 } else { hdr.n_dag_edges };
+    SectionCursor::new(io, hdr.page_size, hdr.dag_off, DAG_ENTRY, total)
 }
 
 /// The concurrent query handle over one open artifact — the serving
@@ -683,6 +980,7 @@ impl std::fmt::Debug for SccIndexReader {
             .field("n_sccs", &self.hdr.n_sccs)
             .field("n_dag_edges", &self.hdr.n_dag_edges)
             .field("page_size", &self.hdr.page_size)
+            .field("generation", &self.hdr.generation)
             .finish()
     }
 }
@@ -695,24 +993,7 @@ impl SccIndexReader {
         // before the first counted read, or the logical pricing would
         // diverge from the owned path (whose environment knows the block
         // size a priori).
-        let mut raw = [0u8; HEADER_LEN];
-        {
-            use std::io::Read as _;
-            let mut f = std::fs::File::open(path)?;
-            let mut done = 0;
-            while done < HEADER_LEN {
-                match f.read(&mut raw[done..]) {
-                    Ok(0) => return Err(bad("file too short for a header")),
-                    Ok(k) => done += k,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-        let page = Header::decode(&raw)?.page_size;
-        if page == 0 || page > MAX_PAGE {
-            return Err(bad("implausible header geometry"));
-        }
+        let page = sniff_page_size(path)?;
         let file = SharedFile::open(path, page as usize, cache_blocks)?;
         let mut io = SharedIo(&file);
         let hdr = open_checked(&mut io)?;
@@ -742,6 +1023,18 @@ impl SccIndexReader {
     /// Page size the artifact was built with (the builder's block size).
     pub fn page_size(&self) -> u64 {
         self.hdr.page_size
+    }
+
+    /// Index generation of the artifact this handle opened. Clones keep
+    /// serving this generation even after a delta update renames a newer
+    /// one over the path — swap in a freshly opened reader to advance.
+    pub fn generation(&self) -> u64 {
+        self.hdr.generation
+    }
+
+    /// Number of dirty components awaiting delta-engine re-verification.
+    pub fn n_dirty(&self) -> u64 {
+        self.hdr.n_dirty
     }
 
     /// Total artifact size in bytes.
@@ -782,11 +1075,51 @@ impl SccIndexReader {
     pub fn component_size(&self, u: NodeId) -> io::Result<u64> {
         lookup_size(&mut SharedIo(&self.file), &self.hdr, u)
     }
+
+    /// Streams `(representative, size)` for every component — same
+    /// contract and logical I/O as [`SccIndex::components`].
+    pub fn components(&self) -> ComponentsIter<'_> {
+        ComponentsIter {
+            cursor: SectionCursor::new(
+                Box::new(SharedIo(&self.file)),
+                self.hdr.page_size,
+                self.hdr.sizes_off,
+                SIZE_ENTRY,
+                self.hdr.n_sccs,
+            ),
+        }
+    }
+
+    /// Streams the stored condensation DAG edges — same contract and
+    /// logical I/O as [`SccIndex::condensation_edges`] (shared-path parity:
+    /// both handles drive the identical cursor over the private I/O seam).
+    pub fn condensation_edges(&self) -> DagEdgesIter<'_> {
+        DagEdgesIter {
+            cursor: dag_cursor(Box::new(SharedIo(&self.file)), &self.hdr),
+        }
+    }
+
+    /// Streams the representatives of dirty components (ascending) — same
+    /// contract and logical I/O as [`SccIndex::dirty_components`].
+    pub fn dirty_components(&self) -> DirtyIter<'_> {
+        DirtyIter {
+            cursor: SectionCursor::new(
+                Box::new(SharedIo(&self.file)),
+                self.hdr.page_size,
+                self.hdr.dirty_off,
+                DIRTY_ENTRY,
+                self.hdr.n_dirty,
+            ),
+        }
+    }
 }
 
-/// Buffered sequential cursor over one fixed-record section.
+/// Buffered sequential cursor over one fixed-record section, generic over
+/// the [`IndexIo`] seam so the owned and shared handles iterate through
+/// identical code at identical logical I/O cost.
 struct SectionCursor<'a> {
-    idx: &'a mut SccIndex,
+    io: Box<dyn IndexIo + 'a>,
+    page_size: u64,
     record: u64,
     start: u64,
     total: u64,
@@ -796,15 +1129,15 @@ struct SectionCursor<'a> {
 }
 
 impl<'a> SectionCursor<'a> {
-    fn new(idx: &'a mut SccIndex, start: u64, record: u64, total: u64) -> Self {
-        let page = idx.hdr.page_size as usize;
+    fn new(io: Box<dyn IndexIo + 'a>, page_size: u64, start: u64, record: u64, total: u64) -> Self {
         SectionCursor {
-            idx,
+            io,
+            page_size,
             record,
             start,
             total,
             next: 0,
-            buf: Vec::with_capacity(page),
+            buf: Vec::with_capacity(page_size as usize),
             buf_first: u64::MAX,
         }
     }
@@ -813,13 +1146,13 @@ impl<'a> SectionCursor<'a> {
         if self.next >= self.total {
             return Ok(None);
         }
-        let per_buf = (self.idx.hdr.page_size / self.record).max(1);
+        let per_buf = (self.page_size / self.record).max(1);
         if self.buf_first == u64::MAX || self.next >= self.buf_first + per_buf {
             let first = (self.next / per_buf) * per_buf;
             let want = ((self.total - first).min(per_buf) * self.record) as usize;
             self.buf.resize(want, 0);
             let off = self.start + first * self.record;
-            if self.idx.file.read_at(off, &mut self.buf)? != want {
+            if self.io.read_at(off, &mut self.buf)? != want {
                 return Err(bad("section truncated mid-iteration"));
             }
             self.buf_first = first;
@@ -851,7 +1184,8 @@ impl Iterator for ComponentsIter<'_> {
     }
 }
 
-/// Iterator over stored condensation edges.
+/// Iterator over stored condensation edges. Skips `count == 0` tombstones
+/// left by delta-engine deletions (cleaned up by the next merge/compact).
 /// See [`SccIndex::condensation_edges`].
 pub struct DagEdgesIter<'a> {
     cursor: SectionCursor<'a>,
@@ -861,13 +1195,38 @@ impl Iterator for DagEdgesIter<'_> {
     type Item = io::Result<Edge>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.cursor.next_record() {
+                Err(e) => return Some(Err(e)),
+                Ok(None) => return None,
+                Ok(Some(raw)) => {
+                    if u32::from_le_bytes(raw[8..12].try_into().unwrap()) == 0 {
+                        continue; // tombstone
+                    }
+                    return Some(Ok(Edge::new(
+                        NodeId::from_le_bytes(raw[0..4].try_into().unwrap()),
+                        NodeId::from_le_bytes(raw[4..8].try_into().unwrap()),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over dirty component representatives.
+/// See [`SccIndex::dirty_components`].
+pub struct DirtyIter<'a> {
+    cursor: SectionCursor<'a>,
+}
+
+impl Iterator for DirtyIter<'_> {
+    type Item = io::Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
         match self.cursor.next_record() {
             Err(e) => Some(Err(e)),
             Ok(None) => None,
-            Ok(Some(raw)) => Some(Ok(Edge::new(
-                NodeId::from_le_bytes(raw[0..4].try_into().unwrap()),
-                NodeId::from_le_bytes(raw[4..8].try_into().unwrap()),
-            ))),
+            Ok(Some(raw)) => Some(Ok(NodeId::from_le_bytes(raw[0..4].try_into().unwrap()))),
         }
     }
 }
@@ -912,6 +1271,8 @@ mod tests {
         let mut idx = SccIndex::open(&env, &path).unwrap();
         assert_eq!(idx.n_nodes(), 6);
         assert_eq!(idx.n_sccs(), 3);
+        assert_eq!(idx.generation(), 0);
+        assert_eq!(idx.n_dirty(), 0);
         assert!(!idx.has_condensation());
         for (v, rep) in [(0, 0), (1, 0), (2, 2), (3, 3), (4, 3), (5, 3)] {
             assert_eq!(idx.component_of(v).unwrap(), rep, "component_of({v})");
@@ -922,6 +1283,7 @@ mod tests {
         assert_eq!(idx.component_size(2).unwrap(), 1);
         let comps: Vec<(u32, u64)> = idx.components().map(|c| c.unwrap()).collect();
         assert_eq!(comps, vec![(0, 2), (2, 1), (3, 3)]);
+        assert_eq!(idx.dirty_components().count(), 0);
         assert!(idx.component_of(6).is_err(), "out of range");
     }
 
@@ -1024,6 +1386,7 @@ mod tests {
         assert_eq!(reader.n_nodes(), 20);
         assert_eq!(reader.n_sccs(), 5);
         assert_eq!(reader.page_size(), 64);
+        assert_eq!(reader.generation(), 0);
 
         // Every query kind: identical answers and identical logical deltas.
         let handle = reader.clone(); // fresh counters
@@ -1068,6 +1431,18 @@ mod tests {
                 handle.component_size(u).map(|s| vec![s as u32]),
             );
         }
+        // Section iterators: identical streams and identical logical cost
+        // (shared-path parity for components and condensation_edges).
+        check(
+            "components",
+            Ok(owned.components().map(|c| c.unwrap().0).collect()),
+            Ok(handle.components().map(|c| c.unwrap().0).collect()),
+        );
+        check(
+            "condensation_edges",
+            Ok(owned.condensation_edges().map(|e| e.unwrap().src).collect()),
+            Ok(handle.condensation_edges().map(|e| e.unwrap().src).collect()),
+        );
 
         // Errors carry the same message across handles.
         let e1 = owned.component_of(77).unwrap_err();
@@ -1092,8 +1467,15 @@ mod tests {
         SccIndex::build(&build_env, &path, &labels, 6, None).unwrap();
         let pristine = std::fs::read(&path).unwrap();
 
+        // Last byte of the final size-table record (not padding).
+        let hdr = {
+            let mut raw = [0u8; HEADER_LEN];
+            raw.copy_from_slice(&pristine[..HEADER_LEN]);
+            Header::decode(&raw).unwrap()
+        };
         let mut flipped = pristine.clone();
-        *flipped.last_mut().unwrap() ^= 0x40;
+        let at = (hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs - 1) as usize;
+        flipped[at] ^= 0x40;
         std::fs::write(&path, &flipped).unwrap();
         let err = SccIndex::open_shared(&path, 4).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
@@ -1106,11 +1488,14 @@ mod tests {
     }
 
     #[test]
-    fn dag_section_roundtrips() {
+    fn dag_section_roundtrips_on_both_handles() {
         let env = env();
         let labels = sample_labels(&env);
         let dag = env
-            .file_from_slice("dag", &[Edge::new(0, 2), Edge::new(2, 3)])
+            .file_from_slice(
+                "dag",
+                &[CountedEdge::new(0, 2, 1), CountedEdge::new(2, 3, 4)],
+            )
             .unwrap();
         let path = idx_path(&env, "dag");
         SccIndex::build(&env, &path, &labels, 6, Some(&dag)).unwrap();
@@ -1119,6 +1504,14 @@ mod tests {
         assert_eq!(idx.n_dag_edges(), 2);
         let edges: Vec<Edge> = idx.condensation_edges().map(|e| e.unwrap()).collect();
         assert_eq!(edges, vec![Edge::new(0, 2), Edge::new(2, 3)]);
+        // Satellite parity: the shared reader streams the same DAG.
+        let reader = SccIndex::open_shared(&path, 4).unwrap();
+        assert!(reader.has_condensation());
+        let shared: Vec<Edge> = reader.condensation_edges().map(|e| e.unwrap()).collect();
+        assert_eq!(shared, edges);
+        let comps: Vec<(u32, u64)> = reader.components().map(|c| c.unwrap()).collect();
+        assert_eq!(comps, vec![(0, 2), (2, 1), (3, 3)]);
+        assert_eq!(reader.dirty_components().count(), 0);
     }
 
     #[test]
@@ -1149,17 +1542,36 @@ mod tests {
     fn every_meaningful_corruption_is_rejected_at_open() {
         let build_env = env();
         let labels = sample_labels(&build_env);
-        let dag = build_env.file_from_slice("dag", &[Edge::new(0, 3)]).unwrap();
+        let dag = build_env
+            .file_from_slice("dag", &[CountedEdge::new(0, 3, 2)])
+            .unwrap();
         let path = idx_path(&build_env, "corrupt");
         SccIndex::build(&build_env, &path, &labels, 6, Some(&dag)).unwrap();
         let pristine = std::fs::read(&path).unwrap();
         assert_eq!(pristine.len() % 64, 0, "whole pages");
+        let hdr = {
+            let mut raw = [0u8; HEADER_LEN];
+            raw.copy_from_slice(&pristine[..HEADER_LEN]);
+            Header::decode(&raw).unwrap()
+        };
 
-        // Flip every header byte and every payload byte in turn: open must
-        // fail each time (header-page padding past the header is never
-        // read; sections start at the 128-byte boundary under 64 B pages).
+        // Flip every byte the format validates, in turn: the header, every
+        // labels-section and dag-section byte (whole pages, padding
+        // included — those carry per-page hashes because the delta engine
+        // patches them in place), and every *record* byte of the sizes
+        // section (its page padding is excluded from the record FNV because
+        // it can never influence an answer; header-page padding is never
+        // read). Open must fail each time.
+        let dag_pages_end = align_up(hdr.dag_off + DAG_ENTRY * hdr.n_dag_edges, 64) as usize;
+        let meaningful = (0..HEADER_LEN)
+            .chain(hdr.labels_off as usize..hdr.sizes_off as usize)
+            .chain(
+                hdr.sizes_off as usize
+                    ..(hdr.sizes_off + SIZE_ENTRY * hdr.n_sccs) as usize,
+            )
+            .chain(hdr.dag_off as usize..dag_pages_end);
         let mut rejected = 0usize;
-        for at in (0..HEADER_LEN).chain(128..pristine.len()) {
+        for at in meaningful {
             let mut bytes = pristine.clone();
             bytes[at] ^= 0x40;
             std::fs::write(&path, &bytes).unwrap();
@@ -1169,7 +1581,7 @@ mod tests {
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {at}: {err}");
             rejected += 1;
         }
-        assert!(rejected > 64, "swept header and payload");
+        assert!(rejected > 128, "swept header, labels and records");
 
         // Truncation and extension are geometry errors, not garbage.
         std::fs::write(&path, &pristine[..pristine.len() - 64]).unwrap();
@@ -1196,12 +1608,13 @@ mod tests {
         let pristine = std::fs::read(&path).unwrap();
 
         // (header word index, hostile value): n_nodes = 2^62, huge page
-        // size, huge dag edge count, n_sccs > n_nodes.
+        // size, huge dag edge count, n_sccs > n_nodes, n_dirty > n_sccs.
         for (word, value) in [
             (1u64, 1u64 << 62),   // n_nodes
             (0, u64::MAX / 2),    // page_size
             (6, 1 << 62),         // n_dag_edges
             (2, 7),               // n_sccs > n_nodes (6)
+            (11, 5),              // n_dirty > n_sccs (3)
         ] {
             let mut bytes = pristine.clone();
             let at = 8 + 8 * word as usize;
@@ -1217,12 +1630,31 @@ mod tests {
     }
 
     #[test]
+    fn version_1_artifacts_are_rejected_with_a_clear_error() {
+        let build_env = env();
+        let labels = sample_labels(&build_env);
+        let path = idx_path(&build_env, "v1");
+        SccIndex::build(&build_env, &path, &labels, 6, None).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = SccIndex::open(&env(), &path).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported index version 1"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("rebuild"), "{err}");
+    }
+
+    #[test]
     fn rebuild_at_the_same_path_truncates_the_old_artifact() {
         let env = env();
         let labels = sample_labels(&env);
         let path = idx_path(&env, "re");
-        let dag = env.file_from_slice("dag", &[Edge::new(0, 2)]).unwrap();
+        let dag = env.file_from_slice("dag", &[CountedEdge::new(0, 2, 1)]).unwrap();
         SccIndex::build(&env, &path, &labels, 6, Some(&dag)).unwrap();
+        // A stale journal sidecar is dropped by the rebuild too.
+        std::fs::write(journal_path(&path), b"stale").unwrap();
         let small = env
             .file_from_slice("l2", &[SccLabel::new(0, 0), SccLabel::new(1, 0)])
             .unwrap();
@@ -1231,5 +1663,6 @@ mod tests {
         assert_eq!(idx.n_nodes(), 2);
         assert!(!idx.has_condensation());
         assert!(idx.same_component(0, 1).unwrap());
+        assert!(!journal_path(&path).exists(), "stale sidecar removed");
     }
 }

@@ -149,6 +149,57 @@ pub fn condense_external(
     Ok(crate::edgelist::EdgeListGraph::new(deduped, g.n_nodes()))
 }
 
+/// [`condense_external`] with multiplicities: same two-pass quotient, but
+/// instead of deduplicating parallel condensation edges it run-length
+/// counts them, yielding one [`crate::CountedEdge`] per distinct `(src, dst)`
+/// component pair whose `count` is the number of base-graph edge instances
+/// crossing it. This is the form the index stores for the delta engine
+/// ([`crate::delta`]): a cross-component deletion decrements the count and
+/// only drops the condensation edge when the last supporting base edge is
+/// gone. `O(sort(|E|))` I/Os, no in-memory node state.
+pub fn condense_counted(
+    env: &DiskEnv,
+    g: &crate::edgelist::EdgeListGraph,
+    labels: &ExtFile<SccLabel>,
+) -> io::Result<ExtFile<crate::types::CountedEdge>> {
+    use ce_extmem::{lookup_join_stream, sort_streaming_by_key, SortedStream};
+    let by_src = sort_streaming_by_key(env, g.edges(), "condc-by-src", |e: &Edge| e.src)?;
+    let src_mapped = lookup_join_stream(
+        by_src,
+        |e| e.src,
+        labels,
+        |l| l.node,
+        |e: Edge, l: SccLabel| Edge::new(l.scc, e.dst),
+    )?;
+    let by_dst = sort_streaming_by_key(env, src_mapped, "condc-by-dst", |e: &Edge| e.dst)?;
+    let both_mapped = lookup_join_stream(
+        by_dst,
+        |e| e.dst,
+        labels,
+        |l| l.node,
+        |e: Edge, l: SccLabel| Edge::new(e.src, l.scc),
+    )?;
+    let clean = both_mapped.filter(|e| !e.is_loop());
+    let mut sorted = sort_streaming_by_key(env, clean, "condc-edges", Edge::by_src)?.into_stream()?;
+    let mut w = env.writer::<crate::types::CountedEdge>("condc-counted")?;
+    let mut current: Option<crate::types::CountedEdge> = None;
+    while let Some(e) = sorted.next()? {
+        match current.as_mut() {
+            Some(c) if c.src == e.src && c.dst == e.dst => c.count = c.count.saturating_add(1),
+            Some(c) => {
+                let done = *c;
+                w.push(done)?;
+                current = Some(crate::types::CountedEdge::new(e.src, e.dst, 1));
+            }
+            None => current = Some(crate::types::CountedEdge::new(e.src, e.dst, 1)),
+        }
+    }
+    if let Some(c) = current {
+        w.push(c)?;
+    }
+    w.finish()
+}
+
 /// True if two dense component-id vectors describe the same partition of
 /// `0..n` (up to renaming of component ids).
 pub fn same_partition(a: &[u32], b: &[u32]) -> bool {

@@ -27,9 +27,14 @@
 //! * [`index`] — [`index::SccIndex`]: the persistent, checksummed,
 //!   block-budgeted queryable artifact an SCC computation materializes;
 //! * [`stats`] — external graph statistics (degree distribution,
-//!   sources/sinks/isolated counts) in `O(sort(|E|))` I/Os.
+//!   sources/sinks/isolated counts) in `O(sort(|E|))` I/Os;
+//! * [`delta`] — [`delta::DeltaEngine`]: incremental maintenance of a stored
+//!   index under edge insertions/deletions (classification against the
+//!   condensation DAG, localized merges, lazy re-verification, crash-safe
+//!   generation swaps).
 
 pub mod algo;
+pub mod delta;
 pub mod csr;
 pub mod edgelist;
 pub mod gen;
@@ -43,8 +48,9 @@ pub mod types;
 
 pub use algo::{AlgoBudget, AlgoError, KosarajuOracle, SccAlgorithm, SccRun, SccSolution, TarjanOracle};
 pub use csr::CsrGraph;
+pub use delta::{CompactReport, DeltaBatch, DeltaEngine, DeltaReport};
 pub use edgelist::EdgeListGraph;
 pub use index::{SccIndex, SccIndexReader};
 pub use labels::SccLabeling;
 pub use planner::{Engine, Plan, Planner};
-pub use types::{Edge, NodeId, SccLabel};
+pub use types::{CountedEdge, Edge, NodeId, SccLabel};

@@ -65,6 +65,54 @@ impl Record for Edge {
     }
 }
 
+/// A condensation edge with its multiplicity: `count` distinct base-graph
+/// edge instances cross from component `src` to component `dst`. The delta
+/// engine ([`crate::delta`]) needs the multiplicity to know when a
+/// cross-component deletion removes the *last* supporting base edge (the
+/// condensation edge disappears) versus merely weakening it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CountedEdge {
+    /// Source component representative.
+    pub src: NodeId,
+    /// Destination component representative.
+    pub dst: NodeId,
+    /// Number of base-graph edge instances crossing `src → dst` (≥ 1;
+    /// saturating at `u32::MAX`).
+    pub count: u32,
+}
+
+impl CountedEdge {
+    /// Constructs a counted condensation edge.
+    pub fn new(src: NodeId, dst: NodeId, count: u32) -> CountedEdge {
+        CountedEdge { src, dst, count }
+    }
+
+    /// The underlying direction, multiplicity dropped.
+    pub fn edge(self) -> Edge {
+        Edge::new(self.src, self.dst)
+    }
+}
+
+impl Record for CountedEdge {
+    const SIZE: usize = 12;
+
+    #[inline]
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.src.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.dst.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.count.to_le_bytes());
+    }
+
+    #[inline]
+    fn decode(buf: &[u8]) -> Self {
+        CountedEdge {
+            src: u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            dst: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            count: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        }
+    }
+}
+
 /// The assignment of one node to its SCC. The `scc` field is the id of a
 /// *representative member* of the component (the way labels are produced
 /// throughout this workspace: the minimum member id for components found by

@@ -68,6 +68,10 @@ use ce_graph::planner::{Engine, Plan};
 use ce_graph::{gen, EdgeListGraph, SccIndex, SccLabel, SccLabeling};
 use ce_semi_scc::{SemiSccAlgo, SemiSccKind};
 
+pub mod delta;
+
+pub use delta::{run_delta_matrix, run_delta_stream, DeltaFamily, DeltaRow};
+
 /// How big a matrix to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HarnessScale {

@@ -545,6 +545,21 @@ impl Pager {
         Ok(())
     }
 
+    /// Forgets `path` without touching the filesystem: the interned id is
+    /// dropped, its frames discarded (no write-back), its backend closed.
+    /// Unknown paths are a no-op. This is the hook for files that are
+    /// replaced *behind* the pager — e.g. an atomic artifact swap done with
+    /// a tmp copy + `rename(2)` — where the interned id would otherwise
+    /// keep serving the pre-swap inode to every later open of the same
+    /// path. Callers must have synced any frames they still need.
+    pub fn forget(&self, path: &Path) {
+        let mut inner = self.lock();
+        if let Some(id) = inner.ids.remove(path) {
+            inner.discard_frames_of(id);
+            inner.files[id as usize] = None;
+        }
+    }
+
     /// Drops every frame and file without write-back. Used for fast teardown
     /// of scratch directories that are about to be deleted wholesale.
     pub fn discard_all(&self) {

@@ -29,12 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         acyclic_filler: true,
         seed: 7,
     };
-    let session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
+    let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
         .source(GraphSource::generator(move |env| {
             gen::planted_scc_graph(env, &spec)
         }))?;
-    let graph = session.graph().expect("sourced");
-    println!("graph: |V| = {}, |E| = {}\n", graph.n_nodes(), graph.n_edges());
+    {
+        let graph = session.graph().expect("sourced");
+        println!("graph: |V| = {}, |E| = {}\n", graph.n_nodes(), graph.n_edges());
+    }
 
     // The planner explains the regime before any I/O is spent: 60k nodes
     // need ~960 KiB of node state, so contraction must run.

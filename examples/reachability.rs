@@ -26,13 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u32 = 40_000;
     {
         // 1. The indexing session: SCCs + condensation, persisted and closed.
-        let session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
+        let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
             .source(GraphSource::generator(move |env| {
                 gen::web_like(env, n, 5.0, 99)
             }))?
             .condensation(true);
-        let g = session.graph().expect("sourced");
-        println!("graph: |V| = {}, |E| = {}", g.n_nodes(), g.n_edges());
+        {
+            let g = session.graph().expect("sourced");
+            println!("graph: |V| = {}, |E| = {}", g.n_nodes(), g.n_edges());
+        }
         let plan = session.plan()?;
         println!("plan: {} ({})", plan.engine, plan.reason);
         let built = session.build_index(&idx_path)?;

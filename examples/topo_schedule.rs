@@ -33,13 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         acyclic_filler: true, // dependencies otherwise form a DAG
         seed: 2024,
     };
-    let session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
+    let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
         .source(GraphSource::generator(move |env| {
             gen::planted_scc_graph(env, &spec)
         }))?
         .condensation(true);
-    let graph = session.graph().expect("sourced");
-    println!("tasks: {}, dependencies: {}", graph.n_nodes(), graph.n_edges());
+    let n_tasks = session.graph().expect("sourced").n_nodes();
+    let n_deps = session.graph().expect("sourced").n_edges();
+    println!("tasks: {n_tasks}, dependencies: {n_deps}");
 
     // 1. Collapse cyclic groups (the planner picks the engine) and keep the
     //    result as the scheduling artifact.
@@ -50,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_units = index.n_sccs() as usize;
     println!(
         "scheduling units after SCC contraction: {} (from {} tasks, engine {})",
-        n_units,
-        graph.n_nodes(),
-        built.plan.engine
+        n_units, n_tasks, built.plan.engine
     );
 
     // Dense unit numbering from the stored component table.
@@ -114,7 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Tasks in one unit share a rank; a dependency crossing units increases
     // rank strictly. Spot-check a few edges with point queries against the
     // artifact — the scheduler never loads a task->unit array.
-    let edges = graph.edges_in_memory()?;
+    let edges = session.graph().expect("sourced").edges_in_memory()?;
     for e in edges.iter().take(1000) {
         let a = dense[&index.component_of(e.src)?];
         let b = dense[&index.component_of(e.dst)?];

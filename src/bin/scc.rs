@@ -10,9 +10,14 @@
 //! scc index build --input graph.txt --out graph.sccidx
 //!           [--mem 64M] [--block 64K] [--backend file|mem] [--cache-blocks N]
 //!           [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]
-//!           [--condense] [--stats]
+//!           [--with-condensation] [--stats]
 //! scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]
-//! scc serve --index graph.sccidx [--threads N] [--cache-blocks N] [--stats]
+//! scc index apply --index graph.sccidx --input graph.txt
+//!           [--add "U V"]... [--remove "U V"]... [--deltas FILE]
+//!           [--mem 64M] [--stats]
+//! scc index compact --index graph.sccidx --input graph.txt [--mem 64M] [--stats]
+//! scc serve --index graph.sccidx [--input graph.txt] [--threads N]
+//!           [--cache-blocks N] [--stats]
 //! scc serve --index graph.sccidx --queries K [--batch B] [--seed S] [--threads N]
 //! scc serve --self-test [--threads N] [--nodes N] [--seed S]
 //! scc verify [--scale smoke|full]
@@ -44,7 +49,26 @@
 //! s U V          -> same_component(U, V) = true|false
 //! z U            -> component_size(U) = S
 //! b U1 U2 ...    -> component_of_many(k) = R1 R2 ...
+//! +U V           -> applied +(U, V): KIND, generation G   (needs --input)
+//! -U V           -> applied -(U, V): KIND, generation G   (needs --input)
 //! ```
+//!
+//! The `+U V` / `-U V` mutation ops are enabled by giving `scc serve` the
+//! base graph the index was built from (`--input graph.txt`): a single
+//! writer applies each mutation through the incremental delta engine
+//! ([`ce_graph::delta::DeltaEngine`]), materializes a new crash-safe index
+//! generation on disk, and the loop atomically swaps the shared reader
+//! handle — queries after the mutation line observe the new generation.
+//! Mutations serialize in line order; runs of queries between them still
+//! fan out across the worker threads. Without `--input`, mutation lines
+//! are answered with an inline `error:` line, like any other bad input.
+//!
+//! `scc index apply` is the batch form of the same maintenance path: it
+//! classifies `--add`/`--remove` pairs (or a `--deltas FILE` of `+U V` /
+//! `-U V` lines) against the stored condensation DAG and commits one new
+//! generation; `scc index compact` eagerly re-verifies every
+//! deletion-dirtied component. Both require an index built with the
+//! condensation DAG embedded (`scc index build --with-condensation`).
 //!
 //! `--queries K` serves a deterministic generated workload instead of
 //! stdin and reports throughput; `--self-test` builds a scratch index from
@@ -136,9 +160,15 @@ fn usage() -> &'static str {
      \x20      scc index build --input graph.txt|graph.ceg --out graph.sccidx\n\
      \x20              [--mem 64M] [--block 64K] [--backend file|mem] [--cache-blocks N]\n\
      \x20              [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]\n\
-     \x20              [--condense (flag: embed the condensation DAG)] [--stats]\n\
+     \x20              [--with-condensation (embed the condensation DAG)] [--stats]\n\
      \x20      scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]\n\
-     \x20      scc serve --index graph.sccidx [--threads N] [--cache-blocks N] [--stats]\n\
+     \x20      scc index apply --index graph.sccidx --input graph.txt|graph.ceg\n\
+     \x20              [--add \"U V\"]... [--remove \"U V\"]... [--deltas FILE]\n\
+     \x20              [--mem 64M] [--stats]\n\
+     \x20      scc index compact --index graph.sccidx --input graph.txt|graph.ceg\n\
+     \x20              [--mem 64M] [--stats]\n\
+     \x20      scc serve --index graph.sccidx [--input graph.txt (enable +U V / -U V)]\n\
+     \x20              [--threads N] [--cache-blocks N] [--stats]\n\
      \x20              [--queries K [--batch B] [--seed S]]\n\
      \x20      scc serve --self-test [--threads N] [--nodes N] [--seed S]\n\
      \x20      scc verify [--scale smoke|full]\n\
@@ -486,7 +516,9 @@ fn run_index_build(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--engine" => engine = parse_engine(value("--engine")?)?,
-            "--condense" => condense = true,
+            // `--condense` is the historical spelling; `--with-condensation`
+            // is what the delta-engine error messages name.
+            "--condense" | "--with-condensation" => condense = true,
             "--stats" => stats = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -638,6 +670,231 @@ fn run_index_query(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Parses one `+U V` / `-U V` mutation (the `--deltas` file format and the
+/// serve protocol share it). The sign may be glued to the first node
+/// (`+3 4`) or stand alone (`+ 3 4`). Returns `(is_add, u, v)`.
+fn parse_mutation(line: &str) -> Result<(bool, u32, u32), String> {
+    let line = line.trim();
+    let (is_add, rest) = match line.as_bytes().first() {
+        Some(b'+') => (true, &line[1..]),
+        Some(b'-') => (false, &line[1..]),
+        _ => return Err(format!("bad mutation {line:?}: must start with '+' or '-'")),
+    };
+    let mut it = rest.split_whitespace();
+    let mut node = |what: &str| -> Result<u32, String> {
+        let tok = it
+            .next()
+            .ok_or_else(|| format!("mutation {line:?} needs {what}"))?;
+        tok.parse::<u32>().map_err(|e| format!("bad node {tok:?}: {e}"))
+    };
+    let u = node("two nodes")?;
+    let v = node("two nodes")?;
+    if it.next().is_some() {
+        return Err(format!("trailing tokens after mutation {line:?}"));
+    }
+    Ok((is_add, u, v))
+}
+
+/// Parses an `--add "U V"` / `--remove "U V"` pair value.
+fn parse_pair(name: &str, s: &str) -> Result<(u32, u32), String> {
+    let mut it = s.split_whitespace();
+    let mut node = || -> Result<u32, String> {
+        let tok = it.next().ok_or_else(|| format!("{name} needs \"U V\""))?;
+        tok.parse::<u32>().map_err(|e| format!("bad {name} node {tok:?}: {e}"))
+    };
+    let u = node()?;
+    let v = node()?;
+    if it.next().is_some() {
+        return Err(format!("{name} takes exactly two nodes, got {s:?}"));
+    }
+    Ok((u, v))
+}
+
+/// Opens a maintenance session over an existing artifact: the environment's
+/// block size is sniffed from the artifact header (the delta engine patches
+/// whole pages, so the geometries must agree), the base graph is loaded,
+/// and the artifact is attached as the session's live index.
+fn open_maintenance_session(
+    index: &std::path::Path,
+    input: &std::path::Path,
+    mem: usize,
+) -> Result<SccSession, Box<dyn std::error::Error>> {
+    let block = contract_expand::graph::index::sniff_page_size(index)? as usize;
+    let cfg = IoConfig::new(block, mem.max(2 * block));
+    let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))?
+        .source(GraphSource::from_path(input))?;
+    session.attach_index(index)?;
+    Ok(session)
+}
+
+/// `scc index apply` — classify a batch of edge insertions/deletions
+/// against the stored condensation DAG and commit one new index
+/// generation.
+fn run_index_apply(args: &[String]) -> Result<ExitCode, String> {
+    let mut index: Option<PathBuf> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut deltas: Option<PathBuf> = None;
+    let mut adds: Vec<(u32, u32)> = Vec::new();
+    let mut removes: Vec<(u32, u32)> = Vec::new();
+    let mut mem = 64usize << 20;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--index" => index = Some(PathBuf::from(value("--index")?)),
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--deltas" => deltas = Some(PathBuf::from(value("--deltas")?)),
+            "--add" => adds.push(parse_pair("--add", value("--add")?)?),
+            "--remove" => removes.push(parse_pair("--remove", value("--remove")?)?),
+            "--mem" => mem = parse_size(value("--mem")?)?,
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown index apply argument {other:?}\n{}", usage())),
+        }
+    }
+    let index = index.ok_or_else(|| format!("--index is required\n{}", usage()))?;
+    let input = input.ok_or_else(|| format!("--input is required\n{}", usage()))?;
+    if deltas.is_none() && adds.is_empty() && removes.is_empty() {
+        return Err(format!(
+            "nothing to apply: give --add/--remove pairs or --deltas FILE\n{}",
+            usage()
+        ));
+    }
+
+    let apply_it = || -> Result<(), Box<dyn std::error::Error>> {
+        let mut batch = DeltaBatch::new();
+        if let Some(path) = &deltas {
+            let text = std::fs::read_to_string(path)?;
+            for (no, line) in text.lines().enumerate() {
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                    continue;
+                }
+                let (add, u, v) = parse_mutation(t)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), no + 1))?;
+                batch = if add { batch.add(u, v) } else { batch.remove(u, v) };
+            }
+        }
+        for &(u, v) in &adds {
+            batch = batch.add(u, v);
+        }
+        for &(u, v) in &removes {
+            batch = batch.remove(u, v);
+        }
+        let session = open_maintenance_session(&index, &input, mem)?;
+        let mut eng = session.delta_engine()?;
+        let before = eng.generation();
+        let r = eng.apply(&batch)?;
+        println!(
+            "applied {} ops to {}: generation {before} -> {}",
+            batch.len(),
+            index.display(),
+            r.generation
+        );
+        println!(
+            "  inserts: {} intra-component, {} dag-append, {} dag-reinforce, \
+             {} merges ({} components, {} nodes)",
+            r.intra_added, r.dag_appended, r.dag_reinforced, r.merges, r.merged_components,
+            r.merged_nodes
+        );
+        println!(
+            "  deletes: {} dirty-marked, {} dag-weakened, {} dag-dropped",
+            r.dirty_marked, r.dag_weakened, r.dag_dropped
+        );
+        println!(
+            "  index now: {} components ({} dirty), {} journal records",
+            eng.n_sccs(),
+            eng.n_dirty(),
+            eng.n_journal()
+        );
+        if stats {
+            eprintln!("label pages rewritten: {}", r.label_pages_rewritten);
+            eprintln!("apply I/O: {}", r.ios);
+        }
+        Ok(())
+    };
+    match apply_it() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `scc index compact` — eagerly re-verify every deletion-dirtied
+/// component (the explicit form of the lazy re-verification queries
+/// perform).
+fn run_index_compact(args: &[String]) -> Result<ExitCode, String> {
+    let mut index: Option<PathBuf> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut mem = 64usize << 20;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--index" => index = Some(PathBuf::from(value("--index")?)),
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--mem" => mem = parse_size(value("--mem")?)?,
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => {
+                return Err(format!("unknown index compact argument {other:?}\n{}", usage()))
+            }
+        }
+    }
+    let index = index.ok_or_else(|| format!("--index is required\n{}", usage()))?;
+    let input = input.ok_or_else(|| format!("--input is required\n{}", usage()))?;
+
+    let compact_it = || -> Result<(), Box<dyn std::error::Error>> {
+        let session = open_maintenance_session(&index, &input, mem)?;
+        let mut eng = session.delta_engine()?;
+        let before = eng.generation();
+        let dirty = eng.n_dirty();
+        let r = eng.compact()?;
+        println!(
+            "compacted {}: generation {before} -> {}, {} of {dirty} dirty components \
+             re-verified into {} ({} nodes relabeled)",
+            index.display(),
+            r.generation,
+            r.components_reverified,
+            r.components_after,
+            r.relabeled_nodes
+        );
+        println!(
+            "  index now: {} components ({} dirty), {} journal records",
+            eng.n_sccs(),
+            eng.n_dirty(),
+            eng.n_journal()
+        );
+        if stats {
+            eprintln!("compact I/O: {}", r.ios);
+        }
+        Ok(())
+    };
+    match compact_it() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
 /// One parsed query of the serve protocol.
 enum ServeQuery {
     Point(u32),
@@ -720,55 +977,169 @@ fn answer_query(idx: &SccIndexReader, q: &ServeQuery) -> String {
     r.unwrap_or_else(|e| format!("error: {e}"))
 }
 
-/// The stdin serving loop: lines are consumed in chunks, each chunk split
-/// across the worker threads (one cloned reader each), answers printed in
-/// input order. Parse errors are answered inline without reaching a worker.
-fn serve_stdin(
+/// One parsed line of the stdin serve loop: a query, a `+U V` / `-U V`
+/// mutation, or a parse error answered inline.
+enum ServeLine {
+    Query(Result<ServeQuery, String>),
+    Mutate(bool, u32, u32),
+    Bad(String),
+}
+
+/// Answers a run of consecutive queries by fanning them out across the
+/// worker threads (one cloned reader handle each), preserving input order.
+fn answer_run(
     idx: &SccIndexReader,
     threads: usize,
-) -> Result<u64, Box<dyn std::error::Error>> {
+    queries: &[&Result<ServeQuery, String>],
+) -> Vec<String> {
+    let per = queries.len().div_ceil(threads);
+    let answers: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(per)
+            .map(|part| {
+                let handle = idx.clone();
+                s.spawn(move || {
+                    part.iter()
+                        .map(|q| match q {
+                            Ok(q) => answer_query(&handle, q),
+                            Err(msg) => format!("error: {msg}"),
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    answers.into_iter().flatten().collect()
+}
+
+/// The stdin serving loop: lines are consumed in chunks, runs of queries
+/// split across the worker threads (one cloned reader each), answers
+/// printed in input order. Parse errors are answered inline without
+/// reaching a worker.
+///
+/// With a writer (`--input` gave the loop the base graph), `+U V` / `-U V`
+/// lines mutate the index: the writer classifies the edge through the
+/// delta engine, materializes a new crash-safe generation on disk, and the
+/// loop swaps the shared reader handle — every query after the mutation
+/// line observes the new generation. Mutations serialize in line order; a
+/// failed mutation leaves the artifact at its current generation and is
+/// answered with an inline `error:` line. Returns (queries answered,
+/// mutations applied).
+fn serve_stdin(
+    index_path: &std::path::Path,
+    idx: &mut SccIndexReader,
+    threads: usize,
+    cache_blocks: usize,
+    mut writer: Option<DeltaEngine<'_>>,
+) -> Result<(u64, u64), Box<dyn std::error::Error>> {
     const CHUNK: usize = 4096;
     let stdin = std::io::stdin();
     let mut out = BufWriter::new(std::io::stdout().lock());
     let mut served = 0u64;
+    let mut mutated = 0u64;
     let mut lines = std::io::BufRead::lines(stdin.lock());
     loop {
-        let mut chunk: Vec<Result<ServeQuery, String>> = Vec::with_capacity(CHUNK);
+        let mut chunk: Vec<ServeLine> = Vec::with_capacity(CHUNK);
         for line in lines.by_ref().take(CHUNK) {
             let line = line?;
-            if line.trim().is_empty() {
+            let t = line.trim();
+            if t.is_empty() {
                 continue;
             }
-            chunk.push(parse_query(&line));
+            chunk.push(match t.as_bytes()[0] {
+                b'+' | b'-' => match parse_mutation(t) {
+                    Ok((add, u, v)) => ServeLine::Mutate(add, u, v),
+                    Err(msg) => ServeLine::Bad(msg),
+                },
+                _ => ServeLine::Query(parse_query(t)),
+            });
         }
         if chunk.is_empty() {
             break;
         }
-        served += chunk.len() as u64;
-        let per = chunk.len().div_ceil(threads);
-        let answers: Vec<Vec<String>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunk
-                .chunks(per)
-                .map(|part| {
-                    let handle = idx.clone();
-                    s.spawn(move || {
-                        part.iter()
-                            .map(|q| match q {
-                                Ok(q) => answer_query(&handle, q),
-                                Err(msg) => format!("error: {msg}"),
-                            })
-                            .collect()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        for line in answers.iter().flatten() {
-            writeln!(out, "{line}")?;
+        let mut i = 0;
+        while i < chunk.len() {
+            match &chunk[i] {
+                ServeLine::Query(_) => {
+                    let mut j = i;
+                    while j < chunk.len() && matches!(chunk[j], ServeLine::Query(_)) {
+                        j += 1;
+                    }
+                    let run: Vec<&Result<ServeQuery, String>> = chunk[i..j]
+                        .iter()
+                        .map(|l| match l {
+                            ServeLine::Query(q) => q,
+                            _ => unreachable!("run contains only queries"),
+                        })
+                        .collect();
+                    served += run.len() as u64;
+                    for line in answer_run(idx, threads, &run) {
+                        writeln!(out, "{line}")?;
+                    }
+                    i = j;
+                }
+                ServeLine::Mutate(add, u, v) => {
+                    let (add, u, v) = (*add, *u, *v);
+                    let sign = if add { '+' } else { '-' };
+                    let line = match writer.as_mut() {
+                        None => "error: index is read-only (start serve with \
+                                 --input GRAPH to enable mutations)"
+                            .to_string(),
+                        Some(eng) => {
+                            let batch = if add {
+                                DeltaBatch::new().add(u, v)
+                            } else {
+                                DeltaBatch::new().remove(u, v)
+                            };
+                            match eng.apply(&batch) {
+                                Ok(r) => {
+                                    // Atomic generation swap: reopen the
+                                    // renamed artifact behind a fresh shared
+                                    // pool and rebind the handle the query
+                                    // workers clone from.
+                                    *idx = SccIndex::open_shared(index_path, cache_blocks)?;
+                                    mutated += 1;
+                                    let kind = if add {
+                                        if r.merges > 0 {
+                                            "merge"
+                                        } else if r.intra_added > 0 {
+                                            "intra-component"
+                                        } else if r.dag_reinforced > 0 {
+                                            "dag-reinforce"
+                                        } else {
+                                            "dag-append"
+                                        }
+                                    } else if r.dirty_marked > 0 {
+                                        "dirty-marked"
+                                    } else if r.dag_dropped > 0 {
+                                        "dag-drop"
+                                    } else if r.dag_weakened > 0 {
+                                        "dag-weaken"
+                                    } else {
+                                        "no-op"
+                                    };
+                                    format!(
+                                        "applied {sign}({u}, {v}): {kind}, generation {}",
+                                        r.generation
+                                    )
+                                }
+                                Err(e) => format!("error: {e}"),
+                            }
+                        }
+                    };
+                    writeln!(out, "{line}")?;
+                    i += 1;
+                }
+                ServeLine::Bad(msg) => {
+                    writeln!(out, "error: {msg}")?;
+                    i += 1;
+                }
+            }
         }
         out.flush()?;
     }
-    Ok(served)
+    Ok((served, mutated))
 }
 
 /// The generated-workload loop (`--queries K`): each thread replays its
@@ -942,6 +1313,8 @@ fn serve_self_test(
 /// protocol and modes).
 fn run_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut index: Option<PathBuf> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut mem = 64usize << 20;
     let mut threads = 1usize;
     let mut cache_blocks = 1024usize;
     let mut queries: Option<u64> = None;
@@ -964,6 +1337,8 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
         }
         match a.as_str() {
             "--index" => index = Some(PathBuf::from(value("--index")?)),
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--mem" => mem = parse_size(value("--mem")?)?,
             "--threads" => {
                 threads = num("--threads", value("--threads")?)?;
                 if threads == 0 || threads > 1024 {
@@ -997,12 +1372,20 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
 
     let serve_it = || -> Result<(), Box<dyn std::error::Error>> {
         if self_test {
+            if input.is_some() {
+                return Err("--input (mutations) does not combine with --self-test".into());
+            }
             return serve_self_test(threads, nodes, seed);
+        }
+        if input.is_some() && queries.is_some() {
+            return Err(
+                "--input (mutations) only applies to the stdin loop; drop --queries".into(),
+            );
         }
         let index = index
             .as_ref()
             .ok_or_else(|| format!("--index is required (or --self-test)\n{}", usage()))?;
-        let reader = SccIndex::open_shared(index, cache_blocks)?;
+        let mut reader = SccIndex::open_shared(index, cache_blocks)?;
         if reader.n_nodes() == 0 {
             return Err("index covers 0 nodes; nothing to serve".into());
         }
@@ -1037,7 +1420,36 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
                 }
                 served
             }
-            None => serve_stdin(&reader, threads)?,
+            None => {
+                // The single-writer session: its environment's block size is
+                // sniffed from the artifact so the delta engine's page
+                // patches line up with the stored geometry.
+                let writer_session;
+                let writer = match &input {
+                    Some(graph) => {
+                        let s = open_maintenance_session(index, graph, mem)?;
+                        writer_session = s;
+                        let eng = writer_session.delta_engine()?;
+                        eprintln!(
+                            "mutations enabled from {}: generation {}, {} journal records",
+                            graph.display(),
+                            eng.generation(),
+                            eng.n_journal()
+                        );
+                        Some(eng)
+                    }
+                    None => None,
+                };
+                let (served, mutated) =
+                    serve_stdin(index, &mut reader, threads, cache_blocks, writer)?;
+                if mutated > 0 {
+                    eprintln!(
+                        "applied {mutated} mutations; index at generation {}",
+                        reader.generation()
+                    );
+                }
+                served
+            }
         };
         let wall = t0.elapsed();
         sp.close(&[("queries", served)], 0);
@@ -1068,17 +1480,19 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-/// `scc index build|query` dispatch.
+/// `scc index build|query|apply|compact` dispatch.
 fn run_index(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("build") => run_index_build(&args[1..]),
         Some("query") => run_index_query(&args[1..]),
+        Some("apply") => run_index_apply(&args[1..]),
+        Some("compact") => run_index_compact(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown index subcommand {other:?}\n{}", usage())),
-        None => Err(format!("index requires build|query\n{}", usage())),
+        None => Err(format!("index requires build|query|apply|compact\n{}", usage())),
     }
 }
 

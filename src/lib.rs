@@ -20,7 +20,7 @@
 //!
 //! // An I/O environment: 4 KiB blocks, 256 KiB of "main memory", pooled.
 //! let cfg = IoConfig::new(4 << 10, 256 << 10);
-//! let session = SccSession::open(cfg, EnvOptions::pooled(&cfg)).unwrap()
+//! let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg)).unwrap()
 //!     // 20k nodes need ~320 KiB of node state: contraction must run.
 //!     .source(GraphSource::generator(|env| gen::web_like(env, 20_000, 4.0, 42)))
 //!     .unwrap();
@@ -106,8 +106,9 @@ pub mod prelude {
     pub use ce_graph::gen;
     pub use ce_graph::planner::{Engine, Plan, Planner};
     pub use ce_graph::{
-        CsrGraph, Edge, EdgeListGraph, KosarajuOracle, NodeId, SccIndex, SccIndexReader, SccLabel,
-        SccLabeling, TarjanOracle,
+        CompactReport, CountedEdge, CsrGraph, DeltaBatch, DeltaEngine, DeltaReport, Edge,
+        EdgeListGraph, KosarajuOracle, NodeId, SccIndex, SccIndexReader, SccLabel, SccLabeling,
+        TarjanOracle,
     };
     pub use ce_harness::HarnessScale;
     pub use ce_semi_scc::{planner_for, SemiSccAlgo, SemiSccKind};

@@ -27,7 +27,8 @@ use std::path::{Path, PathBuf};
 
 use ce_extmem::{DiskEnv, EnvOptions, IoConfig, IoSnapshot};
 use ce_graph::algo::{AlgoBudget, AlgoError, SccAlgorithm, SccRun};
-use ce_graph::labels::condense_external;
+use ce_graph::delta::{CompactReport, DeltaBatch, DeltaEngine, DeltaReport};
+use ce_graph::labels::condense_counted;
 use ce_graph::planner::{Engine, Plan, Planner};
 use ce_graph::{EdgeListGraph, SccIndex};
 use ce_semi_scc::{SemiSccAlgo, SemiSccKind};
@@ -109,6 +110,7 @@ pub struct SccSession {
     graph: Option<EdgeListGraph>,
     engine_override: Option<Engine>,
     condense: bool,
+    index_path: Option<PathBuf>,
 }
 
 impl SccSession {
@@ -129,6 +131,7 @@ impl SccSession {
             graph: None,
             engine_override: None,
             condense: false,
+            index_path: None,
         }
     }
 
@@ -204,25 +207,25 @@ impl SccSession {
     /// Runs the planned engine and materializes the persistent queryable
     /// [`SccIndex`] at `path` (truncating any previous artifact there), then
     /// reopens it — so the returned index has already survived one
-    /// close/reopen round trip including its checksum validation.
-    pub fn build_index(&self, path: &Path) -> Result<IndexBuild, AlgoError> {
+    /// close/reopen round trip including its checksum validation. The path
+    /// is remembered as the session's live index, the target of
+    /// [`SccSession::apply_delta`] / [`SccSession::compact_index`].
+    ///
+    /// With [`SccSession::condensation`] enabled the artifact embeds the
+    /// **counted** condensation DAG (multiplicity per component edge) — the
+    /// form the delta engine requires.
+    pub fn build_index(&mut self, path: &Path) -> Result<IndexBuild, AlgoError> {
         let plan = self.plan()?;
         let g = self.require_graph()?;
         let run = engine_algorithm(plan.engine).run(&self.env, g)?;
         let before = self.env.stats().snapshot();
         let dag = if self.condense {
             let _sp = ce_extmem::io_span!(&self.env, "condense", nodes = g.n_nodes());
-            Some(condense_external(&self.env, g, &run.labels)?)
+            Some(condense_counted(&self.env, g, &run.labels)?)
         } else {
             None
         };
-        let n_sccs = SccIndex::build(
-            &self.env,
-            path,
-            &run.labels,
-            g.n_nodes(),
-            dag.as_ref().map(|d| d.edges()),
-        )?;
+        let n_sccs = SccIndex::build(&self.env, path, &run.labels, g.n_nodes(), dag.as_ref())?;
         if n_sccs != run.n_sccs {
             return Err(AlgoError::Io(io::Error::other(format!(
                 "index found {n_sccs} components, engine reported {}",
@@ -231,12 +234,60 @@ impl SccSession {
         }
         let index = SccIndex::open(&self.env, path)?;
         let build_ios = self.env.stats().snapshot().since(&before);
+        self.index_path = Some(path.to_path_buf());
         Ok(IndexBuild {
             plan,
             run,
             index,
             build_ios,
         })
+    }
+
+    /// Attaches a pre-existing [`SccIndex`] artifact (built earlier, perhaps
+    /// by another process) as the session's live index. Validates it opens
+    /// against this session's environment. The session's graph must be the
+    /// one the artifact was built from — the delta engine checks the node
+    /// universe and re-derives induced subgraphs from it during
+    /// re-verification.
+    pub fn attach_index(&mut self, path: &Path) -> io::Result<()> {
+        SccIndex::open(&self.env, path)?;
+        self.index_path = Some(path.to_path_buf());
+        Ok(())
+    }
+
+    /// The session's live index artifact, if one was built or attached.
+    pub fn index_path(&self) -> Option<&Path> {
+        self.index_path.as_deref()
+    }
+
+    /// Opens the incremental-maintenance engine over the session's live
+    /// index (see [`DeltaEngine`]). The open re-validates the artifact and
+    /// the journal sidecar; hold the engine across a stream of batches to
+    /// pay that once. Requires an index built with
+    /// [`SccSession::condensation`] (the CLI flag `--with-condensation`).
+    pub fn delta_engine(&self) -> io::Result<DeltaEngine<'_>> {
+        let g = self.require_graph()?;
+        let path = self.index_path.as_deref().ok_or_else(|| {
+            io::Error::other(
+                "session has no index: call .build_index(path) or .attach_index(path) first",
+            )
+        })?;
+        DeltaEngine::open(&self.env, g, path)
+    }
+
+    /// Applies one [`DeltaBatch`] of edge insertions/deletions to the
+    /// session's live index, materializing a new crash-safe generation.
+    /// Convenience over [`SccSession::delta_engine`] — opens the engine,
+    /// applies, drops it (per-batch validation cost; stream through
+    /// [`SccSession::delta_engine`] to amortize).
+    pub fn apply_delta(&self, batch: &DeltaBatch) -> io::Result<DeltaReport> {
+        self.delta_engine()?.apply(batch)
+    }
+
+    /// Re-verifies every dirty component of the session's live index (the
+    /// explicit form of the lazy re-verification queries perform).
+    pub fn compact_index(&self) -> io::Result<CompactReport> {
+        self.delta_engine()?.compact()
     }
 
     fn require_graph(&self) -> io::Result<&EdgeListGraph> {

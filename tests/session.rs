@@ -84,7 +84,7 @@ fn build_index_runs_the_planned_engine_and_round_trips() {
     let idx_path = dir.join("g.sccidx");
 
     let cfg = IoConfig::new(1 << 10, 16 << 10);
-    let session = SccSession::open(cfg, EnvOptions::pooled(&cfg))
+    let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))
         .unwrap()
         .source(GraphSource::generator(|env| {
             gen::web_like(env, 3000, 4.0, 17)
@@ -134,7 +134,7 @@ fn condensation_dag_is_embedded_on_request() {
     let dir = scratch_dir("dag");
     let idx_path = dir.join("g.sccidx");
     let cfg = IoConfig::new(4 << 10, 1 << 20);
-    let session = SccSession::open(cfg, EnvOptions::pooled(&cfg))
+    let mut session = SccSession::open(cfg, EnvOptions::pooled(&cfg))
         .unwrap()
         .source(GraphSource::in_memory(6, two_triangles()))
         .unwrap()
