@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::{Rng, SeedableRng};
 
 use ce_extmem::brt::Brt;
-use ce_extmem::{semi_join, sort_by_key, DiskEnv, ExtFile, IoConfig};
+use ce_extmem::{semi_join, sort_by_key, DiskEnv, EnvOptions, ExtFile, IoConfig};
 
 fn env_small() -> DiskEnv {
     // Small budget so sorts take multiple merge passes, as in the real runs.
@@ -31,6 +31,55 @@ fn bench_external_sort(c: &mut Criterion) {
             let input = random_pairs(&env, n, 7);
             b.iter(|| {
                 let sorted = sort_by_key(&env, &input, "bench-out", |r| *r).unwrap();
+                std::hint::black_box(sorted.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_fanin(c: &mut Criterion) {
+    // Pins the MergeStream hot loop at its two fan-in regimes. Under
+    // env_small's geometry (64 KiB budget / 8 B records = 8192-record
+    // runs), 16384 records form exactly two runs — the dedicated two-run
+    // merge loop — while 65536 records form eight and go through the
+    // monomorphized k-way heap. A regression in either inner loop shows up
+    // as a per-element throughput delta here before it shows up in the
+    // BENCH wall grid.
+    let mut g = c.benchmark_group("merge_fanin");
+    g.sample_size(10);
+    for (label, n) in [("2_runs", 16_384usize), ("8_runs", 65_536)] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            let env = env_small();
+            let input = random_pairs(&env, n, 11);
+            b.iter(|| {
+                let sorted = sort_by_key(&env, &input, "bench-merge", |r| *r).unwrap();
+                std::hint::black_box(sorted.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_sort(c: &mut Criterion) {
+    // The {1, N}-thread wall delta on one big sort — the micro-scale twin
+    // of the bench_par grid (logical I/O is identical by construction; only
+    // wall time may move).
+    let mut g = c.benchmark_group("parallel_sort");
+    g.sample_size(10);
+    let n = 200_000usize;
+    for &threads in &[1usize, 4] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let env = DiskEnv::new_temp_with(
+                IoConfig::new(4 << 10, 64 << 10),
+                EnvOptions::default().with_threads(t),
+            )
+            .expect("env");
+            let input = random_pairs(&env, n, 7);
+            b.iter(|| {
+                let sorted = sort_by_key(&env, &input, "bench-par", |r| *r).unwrap();
                 std::hint::black_box(sorted.len())
             });
         });
@@ -88,5 +137,12 @@ fn bench_brt(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_external_sort, bench_semi_join, bench_brt);
+criterion_group!(
+    benches,
+    bench_external_sort,
+    bench_merge_fanin,
+    bench_parallel_sort,
+    bench_semi_join,
+    bench_brt
+);
 criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Parallel-speedup emitter for the multi-core sort/contraction hot paths:
+//! runs Ext-SCC-Op on the smoke workload grid at `threads = 1` and
+//! `threads = N` and writes the wall-time grid to `BENCH_<tag>.json`
+//! (`"kind": "par"`).
+//!
+//! The scenario is **exactly** the engine trajectory's: the conformance
+//! matrix's smoke generators (`ce_harness::smoke_workloads`) under its
+//! tight memory regime (`ce_harness::tight_budget`) at `MATRIX_BLOCK`, so
+//! a `threads = 1` cell's `logical_ios` is comparable 1:1 against the
+//! committed `BENCH_pr6.json` Ext-SCC-Op column. The emitter itself
+//! enforces the tentpole invariant — logical I/O must be **bit-identical**
+//! across thread counts — and exits non-zero on any divergence, so a grid
+//! that reached disk is already a proof the parallel paths priced
+//! correctly on this host.
+//!
+//! Wall time is the only noisy column: each cell runs one discarded warmup
+//! pass and `--reps` measured repetitions, reporting the **median**. The
+//! header records `host_cpus` ([`ce_bench::trajectory::detect_host_cpus`])
+//! because speedup is a property of the host: the committed file from a
+//! 1-CPU container legitimately shows none, and consumers
+//! (`tests/par_gate.rs`, CI's `--check-scaling`) gate wall-clock
+//! assertions on the recorded value.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin bench_par -- --tag par [--out DIR]
+//!     [--reps K] [--threads N] [--check-scaling X]
+//! ```
+//!
+//! `--check-scaling X` exits non-zero if any family's N-thread wall time
+//! exceeds `X ×` its 1-thread wall time — skipped (with a note) when the
+//! host has fewer than 4 CPUs, where the ratio measures the scheduler,
+//! not the sort.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Duration;
+
+use ce_bench::runner::{run_algo, Outcome, RunBudget};
+use ce_bench::trajectory::detect_host_cpus;
+use ce_core::ExtSccAlgo;
+use ce_extmem::{DiskEnv, EnvOptions, IoConfig};
+use ce_harness::{smoke_workloads, tight_budget, MATRIX_BLOCK as BLOCK};
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+const USAGE: &str = "usage: bench_par --tag <tag> [--out <dir>] [--reps <k>] [--threads <n>]\n\
+       [--check-scaling <x>]";
+
+fn main() -> std::io::Result<()> {
+    let mut tag = String::new();
+    let mut out_dir = String::from(".");
+    let mut reps = 3usize;
+    let mut par_threads = 0usize; // 0 = pick from the host below
+    let mut check_scaling: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| {
+            args.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--tag" => tag = args.next().unwrap_or_default(),
+            "--out" => out_dir = args.next().unwrap_or_default(),
+            "--reps" => reps = (num("--reps") as usize).max(1),
+            "--threads" => par_threads = num("--threads") as usize,
+            "--check-scaling" => check_scaling = Some(num("--check-scaling")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if tag.is_empty() || out_dir.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let host_cpus = detect_host_cpus();
+    if par_threads == 0 {
+        // Default: the host's real parallelism, floored at 2 so the grid
+        // always exercises the parallel code paths (and their stats
+        // invariance) even on single-core containers.
+        par_threads = (host_cpus as usize).clamp(2, 8);
+    }
+    if par_threads < 2 {
+        eprintln!("--threads must be at least 2 (the grid always includes 1)");
+        std::process::exit(2);
+    }
+
+    let engine = ExtSccAlgo::optimized();
+    let budget = RunBudget::capped(50_000_000, Duration::from_secs(600));
+    std::fs::create_dir_all(&out_dir)?;
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"tag\": \"{}\",", json_escape(&tag)).unwrap();
+    writeln!(json, "  \"kind\": \"par\",").unwrap();
+    writeln!(json, "  \"block_size\": {BLOCK},").unwrap();
+    writeln!(json, "  \"host_cpus\": {host_cpus},").unwrap();
+    writeln!(json, "  \"engine\": \"Ext-SCC-Op\",").unwrap();
+    writeln!(json, "  \"budget_regime\": \"tight\",").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
+    writeln!(json, "  \"cells\": [").unwrap();
+
+    let workloads = smoke_workloads();
+    let grid: Vec<usize> = vec![1, par_threads];
+    let n_cells = workloads.len() * grid.len();
+    let mut ci = 0usize;
+    // (family, threads) -> median wall ms; family -> logical ios at t=1.
+    let mut walls = std::collections::HashMap::<(String, usize), f64>::new();
+    let mut violations = Vec::new();
+    for (family, n, build) in &workloads {
+        let mem = tight_budget(*n);
+        println!("== {family} ({n} nodes, {mem} B budget) ==");
+        let mut ios_t1: Option<u64> = None;
+        for &threads in &grid {
+            let mut cell_walls = Vec::with_capacity(reps);
+            let mut last = None;
+            for rep in 0..=reps {
+                let env = DiskEnv::new_temp_with(
+                    IoConfig::new(BLOCK, mem),
+                    EnvOptions::default().with_threads(threads),
+                )?;
+                let g = build(&env)?;
+                let m = run_algo(&env, &g, &engine, &budget);
+                if rep > 0 {
+                    cell_walls.push(m.wall);
+                    last = Some(m);
+                }
+            }
+            let m = last.expect("reps >= 1");
+            cell_walls.sort();
+            let wall = cell_walls[cell_walls.len() / 2];
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            walls.insert((family.to_string(), threads), wall_ms);
+            match ios_t1 {
+                None => ios_t1 = Some(m.ios),
+                Some(base) if base != m.ios => violations.push(format!(
+                    "{family}: logical I/O diverged at threads={threads}: {} vs {base} at threads=1",
+                    m.ios
+                )),
+                Some(_) => {}
+            }
+            let (outcome, n_sccs) = match &m.outcome {
+                Outcome::Ok(n) => ("ok", n.to_string()),
+                Outcome::Inf => ("inf", "null".to_string()),
+                Outcome::Dnf(_) => ("dnf", "null".to_string()),
+            };
+            println!(
+                "  {threads} thread(s)  {outcome:<4} logical {:>8}  {:>9.2?}",
+                m.ios, wall
+            );
+            writeln!(json, "    {{").unwrap();
+            writeln!(json, "      \"family\": \"{family}\",").unwrap();
+            writeln!(json, "      \"threads\": {threads},").unwrap();
+            writeln!(json, "      \"outcome\": \"{outcome}\",").unwrap();
+            writeln!(json, "      \"n_sccs\": {n_sccs},").unwrap();
+            writeln!(json, "      \"logical_ios\": {},", m.ios).unwrap();
+            writeln!(json, "      \"wall_ms\": {wall_ms:.3}").unwrap();
+            write!(json, "    }}").unwrap();
+            ci += 1;
+            writeln!(json, "{}", if ci < n_cells { "," } else { "" }).unwrap();
+        }
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+
+    let path = std::path::Path::new(&out_dir).join(format!("BENCH_{tag}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    println!("wrote {}", path.display());
+
+    if let Some(factor) = check_scaling {
+        if host_cpus < 4 {
+            println!(
+                "scaling check skipped: host has {host_cpus} CPU(s); \
+                 the {par_threads}-thread/1-thread wall ratio is a scheduler artifact"
+            );
+        } else {
+            let mut bad = false;
+            for (family, _, _) in &workloads {
+                let one = walls[&(family.to_string(), 1)];
+                let par = walls[&(family.to_string(), par_threads)];
+                if par > factor * one {
+                    eprintln!(
+                        "SCALING VIOLATION: {family} {par_threads}-thread wall {par:.1} ms > \
+                         {factor}x 1-thread {one:.1} ms"
+                    );
+                    bad = true;
+                } else {
+                    println!(
+                        "scaling ok: {family} {par_threads}-thread {par:.1} ms vs 1-thread \
+                         {one:.1} ms ({:.2}x)",
+                        one / par
+                    );
+                }
+            }
+            if bad {
+                std::process::exit(1);
+            }
+        }
+    }
+    Ok(())
+}

@@ -143,7 +143,7 @@ fn main() -> std::io::Result<()> {
         std::process::exit(2);
     }
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+    let host_cpus = ce_bench::trajectory::detect_host_cpus();
 
     // One index serves every cell: build it once in a scratch env that
     // lives for the whole run.

@@ -123,6 +123,16 @@ pub fn compare_wall(
     violations
 }
 
+/// Worker threads the host can actually run concurrently
+/// (`std::thread::available_parallelism`, 1 on error). Every emitter whose
+/// numbers depend on real parallelism (`bench_qps`, `bench_par`) records
+/// this as the `host_cpus` header, and every consumer gates its scaling
+/// assertions on the value the file was *measured* with — a trajectory
+/// file committed from a 1-CPU container legitimately shows no speedup.
+pub fn detect_host_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64
+}
+
 /// One threads × cache throughput measurement from a `bench_qps` file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QpsCell {
@@ -179,6 +189,72 @@ pub fn parse_qps_cells(json: &str) -> Vec<QpsCell> {
             });
             threads = 0;
             qps = f64::NAN;
+        }
+    }
+    cells
+}
+
+/// One family × threads measurement from a `bench_par` file: the same
+/// tight-budget smoke scenario as the engine trajectory, run at a given
+/// worker-thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParCell {
+    /// Workload family (`web`, `cycle`, `dag`, `gnm`).
+    pub family: String,
+    /// Worker threads the cell ran with.
+    pub threads: u64,
+    /// `ok`, `inf`, or `dnf`.
+    pub outcome: String,
+    /// Logical block I/Os — must be identical across thread counts.
+    pub logical_ios: u64,
+    /// Median wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ParCell {
+    /// `family@Nt`, the key cells are matched on.
+    pub fn key(&self) -> String {
+        format!("{}@{}t", self.family, self.threads)
+    }
+}
+
+/// Extracts every family × threads cell from a `bench_par`-shaped file.
+/// Same line-oriented contract as [`parse_cells`], with a `"kind": "par"`
+/// header guard so engine-trajectory, qps and delta files (which also
+/// close cells on `wall_ms`) never parse as par grids.
+pub fn parse_par_cells(json: &str) -> Vec<ParCell> {
+    let is_par = json
+        .lines()
+        .map(str::trim_start)
+        .any(|t| t.starts_with("\"kind\"") && str_field(t) == Some("par"));
+    if !is_par {
+        return Vec::new();
+    }
+    let mut cells = Vec::new();
+    let mut family = String::new();
+    let mut threads = 0u64;
+    let mut outcome = String::new();
+    let mut logical_ios = 0u64;
+    for line in json.lines() {
+        let t = line.trim_start();
+        if t.starts_with("\"family\"") {
+            family = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"threads\"") {
+            threads = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"outcome\"") {
+            outcome = str_field(t).unwrap_or_default().to_string();
+        } else if t.starts_with("\"logical_ios\"") {
+            logical_ios = num_field(t).unwrap_or(0.0) as u64;
+        } else if t.starts_with("\"wall_ms\"") && threads > 0 && !family.is_empty() {
+            cells.push(ParCell {
+                family: family.clone(),
+                threads,
+                outcome: std::mem::take(&mut outcome),
+                logical_ios,
+                wall_ms: num_field(t).unwrap_or(f64::NAN),
+            });
+            threads = 0;
+            logical_ios = 0;
         }
     }
     cells
@@ -427,5 +503,55 @@ mod tests {
     fn delta_parser_ignores_other_trajectory_files() {
         assert!(parse_delta_cells(SAMPLE).is_empty());
         assert!(parse_delta_cells(QPS_SAMPLE).is_empty());
+    }
+
+    const PAR_SAMPLE: &str = r#"{
+  "tag": "pr10",
+  "kind": "par",
+  "block_size": 512,
+  "host_cpus": 4,
+  "engine": "Ext-SCC-Op",
+  "cells": [
+    {
+      "family": "web",
+      "threads": 1,
+      "outcome": "ok",
+      "n_sccs": 42,
+      "logical_ios": 1200,
+      "wall_ms": 30.000
+    },
+    {
+      "family": "web",
+      "threads": 4,
+      "outcome": "ok",
+      "n_sccs": 42,
+      "logical_ios": 1200,
+      "wall_ms": 11.000
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_par_cells() {
+        let cells = parse_par_cells(PAR_SAMPLE);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key(), "web@1t");
+        assert_eq!(cells[0].logical_ios, 1200);
+        assert_eq!(cells[1].threads, 4);
+        assert_eq!(cells[1].wall_ms, 11.0);
+        assert_eq!(parse_host_cpus(PAR_SAMPLE), Some(4));
+    }
+
+    #[test]
+    fn par_parser_requires_the_par_kind_header() {
+        assert!(parse_par_cells(SAMPLE).is_empty());
+        assert!(parse_par_cells(QPS_SAMPLE).is_empty());
+        assert!(parse_par_cells(DELTA_SAMPLE).is_empty());
+    }
+
+    #[test]
+    fn detect_host_cpus_is_positive() {
+        assert!(detect_host_cpus() >= 1);
     }
 }

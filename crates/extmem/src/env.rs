@@ -14,6 +14,26 @@ use crate::record::Record;
 use crate::stats::IoStats;
 use crate::stream::RecordWriter;
 
+/// Worker-thread budget for the parallel execution layer (run formation,
+/// fenced k-way merges, the contraction operators' independent join chains).
+///
+/// The knob changes **wall-clock only**: every parallel path prices its
+/// transfers so the logical [`IoStats`] — and the computed partition — are
+/// bit-identical to the single-threaded schedule for every thread count.
+/// The default is 1 (fully sequential, the seed behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum worker threads a parallel phase may spawn (clamped to at
+    /// least 1; phases use fewer when the work does not split that far).
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism { threads: 1 }
+    }
+}
+
 /// Storage options of a [`DiskEnv`]: which [`BackendKind`] stores scratch
 /// blocks and how many block frames the buffer pool holds.
 ///
@@ -28,6 +48,9 @@ pub struct EnvOptions {
     /// a physical transfer — plus a read-modify-write read for writes that
     /// only partially cover a live block).
     pub cache_blocks: usize,
+    /// Worker-thread budget for the parallel hot paths (wall-clock only;
+    /// logical I/O is thread-count-invariant by construction).
+    pub par: Parallelism,
 }
 
 impl EnvOptions {
@@ -43,6 +66,7 @@ impl EnvOptions {
         EnvOptions {
             backend: BackendKind::File,
             cache_blocks: cfg.blocks_in_memory(),
+            ..EnvOptions::default()
         }
     }
 
@@ -52,6 +76,7 @@ impl EnvOptions {
         EnvOptions {
             backend: BackendKind::Mem,
             cache_blocks: cfg.blocks_in_memory(),
+            ..EnvOptions::default()
         }
     }
 
@@ -86,6 +111,7 @@ impl EnvOptions {
             EnvOptions {
                 backend: BackendKind::File,
                 cache_blocks: pool,
+                ..EnvOptions::default()
             },
         )
     }
@@ -99,6 +125,15 @@ impl EnvOptions {
     /// Replaces the pool capacity (0 disables the pool).
     pub fn with_cache_blocks(mut self, cache_blocks: usize) -> EnvOptions {
         self.cache_blocks = cache_blocks;
+        self
+    }
+
+    /// Replaces the worker-thread budget (0 is clamped to 1 — callers that
+    /// must *reject* 0 validate before building options).
+    pub fn with_threads(mut self, threads: usize) -> EnvOptions {
+        self.par = Parallelism {
+            threads: threads.max(1),
+        };
         self
     }
 }
@@ -197,6 +232,17 @@ impl DiskEnv {
     /// everything created in this environment.
     pub fn stats(&self) -> &IoStats {
         &self.inner.stats
+    }
+
+    /// Owning handle on the shared logical counters, for routed
+    /// [`crate::file::CountedFile`]s that price into a per-worker ledger.
+    pub(crate) fn stats_arc(&self) -> Arc<IoStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// Worker-thread budget of the parallel hot paths (≥ 1; 1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.inner.opts.par.threads.max(1)
     }
 
     /// **Physical** transfer counters of the underlying pager: blocks that

@@ -82,7 +82,7 @@ pub mod trace;
 pub use ce_obs as obs;
 pub use ce_pager::{BackendKind, PhysSnapshot};
 pub use config::IoConfig;
-pub use env::{DiskEnv, EnvOptions};
+pub use env::{DiskEnv, EnvOptions, Parallelism};
 pub use join::{
     anti_join, anti_join_stream, left_lookup_join, left_lookup_join_stream, lookup_join,
     lookup_join_stream, merge_union, merge_union_stream, semi_join, semi_join_stream, GroupCursor,

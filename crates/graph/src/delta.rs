@@ -178,6 +178,9 @@ pub struct CompactReport {
     pub components_after: u64,
     /// Nodes whose stored label changed.
     pub relabeled_nodes: u64,
+    /// Tombstoned condensation-DAG slots reclaimed (records whose count
+    /// had dropped to zero; the rewrite leaves only live edges on disk).
+    pub dag_slots_reclaimed: u64,
     /// Logical I/O of the whole compact.
     pub ios: IoSnapshot,
 }
@@ -857,11 +860,39 @@ impl<'a> DeltaEngine<'a> {
     }
 
     /// Re-verifies **all** dirty components (span `delta_compact`),
-    /// materializing any splits into a new generation. Idempotent; a clean
-    /// index is a no-op at zero writes.
+    /// materializing any splits into a new generation, and reclaims every
+    /// tombstoned condensation-DAG slot (records whose multiplicity dropped
+    /// to zero and that no re-add has reused): the DAG section is rewritten
+    /// with live edges only and the file shrinks to the new geometry.
+    /// Idempotent; a clean, tombstone-free index is a no-op at zero writes.
     pub fn compact(&mut self) -> io::Result<CompactReport> {
+        let before = self.env.stats().snapshot();
         let dirty: Vec<NodeId> = self.dirty.iter().copied().collect();
-        self.reverify(&dirty)
+        let tombstones = self.dag_pos.len() as u64 - self.dag.counts.len() as u64;
+        let mut report = self.reverify(&dirty)?;
+        if !dirty.is_empty() {
+            // The re-verification rewrote the whole DAG section from the
+            // live adjacency, taking every tombstone with it.
+            report.dag_slots_reclaimed = tombstones;
+            return Ok(report);
+        }
+        if tombstones == 0 {
+            return Ok(report);
+        }
+        // Nothing dirty, but cross-component deletions left tombstoned
+        // slots behind: rewrite the DAG section compactly so the stored
+        // record count matches the live condensation again.
+        let sp = ce_extmem::io_span!(self.env, "delta_compact", components = 0usize);
+        let plan = Plan {
+            rewrite_dag: true,
+            ..Plan::new()
+        };
+        self.materialize(plan, self.dag.clone(), self.dirty.clone())?;
+        drop(sp);
+        report.generation = self.hdr.generation;
+        report.dag_slots_reclaimed = tombstones;
+        report.ios = self.env.stats().snapshot().since(&before);
+        Ok(report)
     }
 
     /// The full exact label vector (re-verifies everything dirty first) —
@@ -1037,6 +1068,7 @@ impl<'a> DeltaEngine<'a> {
             components_reverified: targets.len() as u64,
             components_after: groups.len() as u64,
             relabeled_nodes: changed.len() as u64,
+            dag_slots_reclaimed: 0,
             ios: IoSnapshot::default(),
         };
         let plan = Plan {
@@ -1654,6 +1686,56 @@ mod tests {
         drop(eng);
         let idx = SccIndex::open(&e, &path).unwrap();
         assert_eq!(idx.n_dag_edges(), n_before, "tombstone slot was reused");
+    }
+
+    #[test]
+    fn compact_reclaims_tombstoned_dag_slots() {
+        let e = env();
+        // Two condensation edges out of {0,1}: -> {2,3} and -> {4,5}.
+        let (g, path) = setup(
+            &e,
+            "reclaim",
+            6,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (0, 2), (0, 4)],
+        );
+        let mut eng = DeltaEngine::open(&e, &g, &path).unwrap();
+        assert_eq!(
+            eng.condensation_edges(),
+            vec![CountedEdge::new(0, 2, 1), CountedEdge::new(0, 4, 1)]
+        );
+
+        // Dropping the only support of 0 -> 2 tombstones its record: the
+        // stored section still holds both slots.
+        eng.apply(&DeltaBatch::new().remove(0, 2)).unwrap();
+        assert_eq!(SccIndex::open(&e, &path).unwrap().n_dag_edges(), 2);
+
+        // Nothing is dirty, but compact must still rewrite the DAG
+        // compactly and shrink the stored record count to the live edges.
+        let gen = eng.generation();
+        let rep = eng.compact().unwrap();
+        assert_eq!(rep.components_reverified, 0);
+        assert_eq!(rep.dag_slots_reclaimed, 1);
+        assert!(rep.generation > gen, "reclamation is a new generation");
+        let idx = SccIndex::open(&e, &path).unwrap();
+        assert_eq!(idx.n_dag_edges(), 1, "post-compact DAG holds live edges only");
+        assert_eq!(eng.condensation_edges(), vec![CountedEdge::new(0, 4, 1)]);
+
+        // Idempotent: a second compact finds nothing to reclaim and leaves
+        // the generation alone.
+        let gen = eng.generation();
+        let rep = eng.compact().unwrap();
+        assert_eq!(rep.dag_slots_reclaimed, 0);
+        assert_eq!(eng.generation(), gen);
+
+        // With its tombstone gone, a re-added 0 -> 2 must append a fresh
+        // slot — and the engine must keep working across the reclamation.
+        eng.apply(&DeltaBatch::new().add(0, 2)).unwrap();
+        assert_eq!(
+            eng.condensation_edges(),
+            vec![CountedEdge::new(0, 2, 1), CountedEdge::new(0, 4, 1)]
+        );
+        drop(eng);
+        assert_eq!(SccIndex::open(&e, &path).unwrap().n_dag_edges(), 2);
     }
 
     #[test]

@@ -144,6 +144,7 @@ struct Options {
     block: usize,
     backend: BackendKind,
     cache_blocks: Option<usize>,
+    threads: usize,
     baseline: bool,
     stats: bool,
     trace: Option<TraceMode>,
@@ -152,7 +153,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: scc run --input graph.txt|graph.ceg [--mem 64M] [--block 64K] [--baseline]\n\
-     \x20              [--backend file|mem] [--cache-blocks N]\n\
+     \x20              [--backend file|mem] [--cache-blocks N] [--threads N]\n\
      \x20              [--out labels.txt] [--condense dag.txt] [--export-binary g.ceg]\n\
      \x20              [--scratch DIR] [--stats] [--trace human|json] [--trace-wall]\n\
      \x20      scc plan --input graph.txt|graph.ceg [--mem 64M] [--block 64K]\n\
@@ -160,7 +161,8 @@ fn usage() -> &'static str {
      \x20      scc index build --input graph.txt|graph.ceg --out graph.sccidx\n\
      \x20              [--mem 64M] [--block 64K] [--backend file|mem] [--cache-blocks N]\n\
      \x20              [--scratch DIR] [--engine auto|semi-scc|ext-scc|ext-scc-op]\n\
-     \x20              [--with-condensation (embed the condensation DAG)] [--stats]\n\
+     \x20              [--with-condensation (embed the condensation DAG)] [--threads N]\n\
+     \x20              [--stats]\n\
      \x20      scc index query --index graph.sccidx -u NODE [-v NODE] [--stats]\n\
      \x20      scc index apply --index graph.sccidx --input graph.txt|graph.ceg\n\
      \x20              [--add \"U V\"]... [--remove \"U V\"]... [--deltas FILE]\n\
@@ -171,16 +173,18 @@ fn usage() -> &'static str {
      \x20              [--threads N] [--cache-blocks N] [--stats]\n\
      \x20              [--queries K [--batch B] [--seed S]]\n\
      \x20      scc serve --self-test [--threads N] [--nodes N] [--seed S]\n\
-     \x20      scc verify [--scale smoke|full]\n\
+     \x20      scc verify [--scale smoke|full] [--threads N]\n\
      \x20      scc --version | -V\n\
      \x20 (flat `scc --input ...` stays a byte-compatible alias for `scc run`)"
 }
 
-/// `scc verify [--scale smoke|full]` — run the differential conformance
-/// matrix (every registered algorithm on every scenario) and print the
-/// summary table. Exits 0 iff every check passed.
+/// `scc verify [--scale smoke|full] [--threads N]` — run the differential
+/// conformance matrix (every registered algorithm on every scenario) and
+/// print the summary table. `--threads` sets the parallel side of the
+/// thread-invariance axis (default 2). Exits 0 iff every check passed.
 fn run_verify(args: &[String]) -> Result<ExitCode, String> {
     let mut scale = HarnessScale::Smoke;
+    let mut threads = 2usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -189,6 +193,12 @@ fn run_verify(args: &[String]) -> Result<ExitCode, String> {
                 scale = HarnessScale::parse(v)
                     .ok_or_else(|| format!("bad --scale {v:?}; use smoke|full"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a value")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads {v:?}; expected a number"))?;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
@@ -196,7 +206,11 @@ fn run_verify(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unknown verify argument {other:?}\n{}", usage())),
         }
     }
-    let report = contract_expand::harness::run_matrix(scale)
+    if threads == 0 {
+        eprintln!("error: --threads must be at least 1");
+        return Ok(ExitCode::FAILURE);
+    }
+    let report = contract_expand::harness::run_matrix_with(scale, threads)
         .map_err(|e| format!("conformance matrix failed to run: {e}"))?;
     print!("{report}");
     if report.all_ok() {
@@ -232,6 +246,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         block: 64 << 10,
         backend: BackendKind::File,
         cache_blocks: None,
+        threads: 1,
         baseline: false,
         stats: false,
         trace: None,
@@ -263,6 +278,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     v.parse::<usize>()
                         .map_err(|e| format!("bad --cache-blocks {v:?}: {e}"))?,
                 );
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --threads {v:?}: {e}"))?;
             }
             "--baseline" => opts.baseline = true,
             "--stats" => opts.stats = true,
@@ -298,7 +319,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let env_opts = EnvOptions {
         backend: opts.backend,
         cache_blocks: opts.cache_blocks.unwrap_or_else(|| cfg.blocks_in_memory()),
-    };
+        ..EnvOptions::default()
+    }
+    .with_threads(opts.threads);
     let env = match &opts.scratch {
         Some(dir) => DiskEnv::new_in_with(dir, cfg, env_opts)?,
         None => DiskEnv::new_temp_with(cfg, env_opts)?,
@@ -492,6 +515,7 @@ fn run_index_build(args: &[String]) -> Result<ExitCode, String> {
     let mut block = 64usize << 10;
     let mut backend = BackendKind::File;
     let mut cache_blocks: Option<usize> = None;
+    let mut threads = 1usize;
     let mut engine: Option<Engine> = None;
     let mut condense = false;
     let mut stats = false;
@@ -515,6 +539,12 @@ fn run_index_build(args: &[String]) -> Result<ExitCode, String> {
                         .map_err(|e| format!("bad --cache-blocks {v:?}: {e}"))?,
                 );
             }
+            "--threads" => {
+                let v = value("--threads")?;
+                threads = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --threads {v:?}: {e}"))?;
+            }
             "--engine" => engine = parse_engine(value("--engine")?)?,
             // `--condense` is the historical spelling; `--with-condensation`
             // is what the delta-engine error messages name.
@@ -530,11 +560,17 @@ fn run_index_build(args: &[String]) -> Result<ExitCode, String> {
     let input = input.ok_or_else(|| format!("--input is required\n{}", usage()))?;
     let out = out.ok_or_else(|| format!("--out is required\n{}", usage()))?;
     check_model(mem, block)?;
+    if threads == 0 {
+        eprintln!("error: --threads must be at least 1");
+        return Ok(ExitCode::FAILURE);
+    }
     let cfg = IoConfig::new(block, mem);
     let env_opts = EnvOptions {
         backend,
         cache_blocks: cache_blocks.unwrap_or_else(|| cfg.blocks_in_memory()),
-    };
+        ..EnvOptions::default()
+    }
+    .with_threads(threads);
 
     let build_it = || -> Result<(), Box<dyn std::error::Error>> {
         let mut session = match &scratch {
@@ -868,12 +904,13 @@ fn run_index_compact(args: &[String]) -> Result<ExitCode, String> {
         let r = eng.compact()?;
         println!(
             "compacted {}: generation {before} -> {}, {} of {dirty} dirty components \
-             re-verified into {} ({} nodes relabeled)",
+             re-verified into {} ({} nodes relabeled, {} tombstoned DAG slots reclaimed)",
             index.display(),
             r.generation,
             r.components_reverified,
             r.components_after,
-            r.relabeled_nodes
+            r.relabeled_nodes,
+            r.dag_slots_reclaimed
         );
         println!(
             "  index now: {} components ({} dirty), {} journal records",
@@ -1341,7 +1378,13 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
             "--mem" => mem = parse_size(value("--mem")?)?,
             "--threads" => {
                 threads = num("--threads", value("--threads")?)?;
-                if threads == 0 || threads > 1024 {
+                if threads == 0 {
+                    // A runtime rejection (exit 1), not the usage exit-2
+                    // path: one clean error line, no usage dump.
+                    eprintln!("error: --threads must be at least 1");
+                    return Ok(ExitCode::FAILURE);
+                }
+                if threads > 1024 {
                     return Err("--threads must be in 1..=1024".into());
                 }
             }
@@ -1509,6 +1552,12 @@ fn run_flat(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.threads == 0 {
+        // A runtime rejection (exit 1), not the usage exit-2 path: one
+        // clean error line, no usage dump.
+        eprintln!("error: --threads must be at least 1");
+        return ExitCode::FAILURE;
+    }
     match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -481,9 +481,12 @@ fn serve_rejects_bad_usage_and_missing_index() {
     assert_eq!(r.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&r.stderr).contains("unknown serve argument"));
 
+    // `--threads 0` is rejected uniformly across run/index build/serve:
+    // one clean error line, exit 1 (PR 10).
     let r = scc_bin().args(["serve", "--threads", "0"]).output().unwrap();
-    assert_eq!(r.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&r.stderr).contains("--threads"));
+    assert_eq!(r.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&r.stderr);
+    assert_eq!(err.trim(), "error: --threads must be at least 1", "{err}");
 
     let r = scc_bin().args(["serve", "--threads"]).output().unwrap();
     assert_eq!(r.status.code(), Some(2));

@@ -1,0 +1,121 @@
+//! Gate over the committed `BENCH_pr10.json` parallel-sort trajectory
+//! (PR 10's multi-core hot paths): the file must exist, carry the full
+//! family × threads grid, price **bit-identical logical I/O at every
+//! thread count**, and match the `BENCH_pr6.json` Ext-SCC-Op column
+//! exactly — the single-thread scenario is unchanged, so any drift is a
+//! real regression. Wall-clock scaling is asserted only **when the file
+//! was recorded on a host with at least 4 CPUs** (`host_cpus` header): on
+//! a 1-CPU container the N-thread/1-thread ratio measures the scheduler,
+//! not the sort, and can legitimately be below 1x.
+
+use ce_bench::trajectory::{parse_cells, parse_host_cpus, parse_par_cells};
+
+const BENCH: &str = include_str!("../BENCH_pr10.json");
+const BASELINE: &str = include_str!("../BENCH_pr6.json");
+
+/// The smoke families the grid must cover (same set as the engine
+/// trajectory emitter).
+const FAMILIES: [&str; 4] = ["web", "cycle", "dag", "gnm"];
+
+#[test]
+fn par_grid_is_complete_and_sane() {
+    let cells = parse_par_cells(BENCH);
+    for family in FAMILIES {
+        let of_family: Vec<_> = cells.iter().filter(|c| c.family == family).collect();
+        assert!(
+            of_family.iter().any(|c| c.threads == 1),
+            "missing {family} threads=1 cell"
+        );
+        assert!(
+            of_family.iter().any(|c| c.threads > 1),
+            "missing {family} parallel cell"
+        );
+        for c in &of_family {
+            assert_eq!(c.outcome, "ok", "{}: outcome {}", c.key(), c.outcome);
+            assert!(c.logical_ios > 0, "{}: zero logical I/O", c.key());
+            assert!(
+                c.wall_ms.is_finite() && c.wall_ms > 0.0,
+                "{}: bad wall {}",
+                c.key(),
+                c.wall_ms
+            );
+        }
+    }
+    assert!(
+        parse_host_cpus(BENCH).is_some(),
+        "BENCH_pr10.json must record host_cpus; scaling gates depend on it"
+    );
+}
+
+#[test]
+fn logical_io_is_thread_count_invariant() {
+    // The tentpole contract, pinned on the committed artifact: every
+    // family's cells agree on logical_ios no matter the thread count.
+    let cells = parse_par_cells(BENCH);
+    for family in FAMILIES {
+        let ios: Vec<u64> = cells
+            .iter()
+            .filter(|c| c.family == family)
+            .map(|c| c.logical_ios)
+            .collect();
+        assert!(!ios.is_empty(), "no cells for {family}");
+        assert!(
+            ios.windows(2).all(|w| w[0] == w[1]),
+            "{family}: logical I/O varies across thread counts: {ios:?}"
+        );
+    }
+}
+
+#[test]
+fn single_thread_column_matches_the_pr6_baseline_exactly() {
+    // bench_par runs the exact scenario of the engine trajectory, so the
+    // threads=1 logical I/O must equal BENCH_pr6's Ext-SCC-Op column bit
+    // for bit — no regression, no unexplained improvement.
+    let cells = parse_par_cells(BENCH);
+    let baseline = parse_cells(BASELINE);
+    for family in FAMILIES {
+        let ours = cells
+            .iter()
+            .find(|c| c.family == family && c.threads == 1)
+            .unwrap_or_else(|| panic!("missing {family}@1t"));
+        let base = baseline
+            .iter()
+            .find(|c| c.key() == format!("{family}/Ext-SCC-Op"))
+            .unwrap_or_else(|| panic!("missing {family}/Ext-SCC-Op in BENCH_pr6.json"));
+        assert_eq!(
+            ours.logical_ios, base.logical_ios,
+            "{family}: threads=1 logical I/O drifted from the PR 6 baseline"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_scaling_holds_where_the_host_can_show_it() {
+    let host_cpus = parse_host_cpus(BENCH).expect("host_cpus recorded");
+    if host_cpus < 4 {
+        eprintln!(
+            "skipping scaling assertion: BENCH_pr10.json was recorded on \
+             {host_cpus} CPU(s)"
+        );
+        return;
+    }
+    // On a >= 4-CPU host the parallel run must not be slower than 1.2x the
+    // single-thread wall on any family (a loose bound: the win shows up on
+    // the big sorts; tiny families are dominated by constant setup).
+    let cells = parse_par_cells(BENCH);
+    for family in FAMILIES {
+        let wall = |pred: &dyn Fn(u64) -> bool| {
+            cells
+                .iter()
+                .find(|c| c.family == family && pred(c.threads))
+                .expect(family)
+                .wall_ms
+        };
+        let (one, par) = (wall(&|t| t == 1), wall(&|t| t > 1));
+        assert!(
+            par <= 1.2 * one,
+            "{family}: parallel wall {par} ms exceeds 1.2x single-thread {one} ms \
+             on a {host_cpus}-CPU host"
+        );
+    }
+}
